@@ -1,0 +1,34 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at a reduced task
+count (so ``pytest benchmarks/ --benchmark-only`` finishes in minutes) and
+checks the qualitative shape the paper reports — who wins and by roughly what
+margin — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Task cap applied to every benchmarked experiment run.
+BENCH_MAX_TASKS = 16
+
+
+@pytest.fixture
+def bench_max_tasks() -> int:
+    return BENCH_MAX_TASKS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def scores_by_method(rows, dataset=None, key="score"):
+    """Index experiment rows as {method: score}, optionally for one dataset."""
+    out = {}
+    for row in rows:
+        if dataset is not None and row.get("dataset") != dataset:
+            continue
+        out[row["method"]] = row[key]
+    return out

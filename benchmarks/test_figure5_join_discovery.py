@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 5 (join discovery P/R/F1 vs threshold)."""
+
+from conftest import run_once
+
+from repro.experiments import figure5_join_discovery
+
+
+def test_figure5_join_discovery(benchmark):
+    rows = run_once(
+        benchmark, figure5_join_discovery.run, seed=0, max_tasks=24, n_probes=2
+    )
+    unidm = {row["threshold"]: row["f1"] for row in rows if row["method"] == "UniDM"}
+    warpgate = {row["threshold"]: row["f1"] for row in rows if row["method"] == "WarpGate"}
+    assert set(unidm) == set(figure5_join_discovery.THRESHOLDS)
+    # Paper shape: UniDM's F1 stays at least as high as WarpGate's across the
+    # mid-range thresholds because it also finds semantic (abbreviation) joins.
+    mid_thresholds = [0.5, 0.6, 0.7]
+    unidm_mean = sum(unidm[t] for t in mid_thresholds) / len(mid_thresholds)
+    warpgate_mean = sum(warpgate[t] for t in mid_thresholds) / len(mid_thresholds)
+    assert unidm_mean >= warpgate_mean - 5
+    assert max(unidm.values()) >= 60.0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 10 (transformation component ablation)."""
+
+from conftest import run_once
+
+from repro.experiments import table10_ablation_transformation
+
+
+def test_table10_ablation(benchmark):
+    rows = run_once(benchmark, table10_ablation_transformation.run, seed=0, max_tasks=40)
+    assert len(rows) == 8
+    for dataset in ("stackoverflow", "bing_querylogs"):
+        ladder = {row["variant"]: row["score"] for row in rows if row["dataset"] == dataset}
+        # Paper shape: adding both prompt-side components never hurts much and
+        # the full combination is the strongest variant (within noise).
+        assert ladder["target prompt + context parsing"] >= ladder["none"] - 3
+        assert ladder["target prompt + context parsing"] >= max(ladder.values()) - 6

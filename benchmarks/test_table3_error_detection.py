@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 3 (error detection F1)."""
+
+from conftest import run_once, scores_by_method
+
+from repro.experiments import table3_error_detection
+
+
+def test_table3_error_detection(benchmark):
+    # Error detection needs enough cells to contain a few true errors (5% rate).
+    rows = run_once(benchmark, table3_error_detection.run, seed=0, max_tasks=120)
+    assert len(rows) == 8
+    for dataset in ("hospital", "adult"):
+        scores = scores_by_method(rows, dataset=f"{dataset}[120]") or scores_by_method(rows, dataset=dataset)
+        # Paper shape: UniDM and FM reach near-ceiling F1, above HoloClean.
+        assert scores["UniDM"] >= scores["HoloClean"]
+        assert scores["UniDM"] >= 70.0
+        assert scores["FM"] >= 70.0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 4 (entity resolution F1)."""
+
+from conftest import run_once, scores_by_method
+
+from repro.experiments import table4_entity_resolution
+
+
+def test_table4_entity_resolution(benchmark):
+    rows = run_once(benchmark, table4_entity_resolution.run, seed=0, max_tasks=60)
+    assert len(rows) == 20
+    def scores_for(name):
+        return scores_by_method(rows, dataset=f"{name}[60]") or scores_by_method(rows, dataset=name)
+
+    beer = scores_for("beer")
+    amazon_google = scores_for("amazon_google")
+    # Paper shape: on Beer the zero-shot LLM methods are comparable to the
+    # trained matchers; Amazon-Google's domain-specific products remain the
+    # hard case where the fine-tuned Ditto keeps a clear lead over UniDM/FM.
+    assert beer["UniDM"] >= beer["Magellan"] - 5
+    assert beer["UniDM"] >= 70.0
+    assert amazon_google["Ditto"] > amazon_google["UniDM"]
+    assert amazon_google["UniDM"] < beer["UniDM"]

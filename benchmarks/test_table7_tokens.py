@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 7 (per-query token consumption)."""
+
+from conftest import run_once
+
+from repro.experiments import table7_tokens
+
+
+def test_table7_tokens(benchmark):
+    rows = run_once(benchmark, table7_tokens.run, seed=0, max_tasks=10)
+    by_key = {(row["dataset"], row["method"]): row for row in rows}
+    for dataset in ("restaurant", "buy"):
+        fm = by_key[(dataset, "FM")]["tokens_per_query"]
+        no_retrieval = by_key[(dataset, "UniDM (w/o retrieval)")]["tokens_per_query"]
+        full = by_key[(dataset, "UniDM")]["tokens_per_query"]
+        # Paper shape: FM is cheapest, dropping retrieval saves a lot, and the
+        # full pipeline costs an order of magnitude more than FM.
+        assert fm < no_retrieval < full
+        assert full > 5 * fm
+        assert by_key[(dataset, "UniDM")]["llm_calls_per_query"] >= 4

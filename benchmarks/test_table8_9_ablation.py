@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Tables 8-9 (imputation component ablation)."""
+
+from conftest import run_once
+
+from repro.experiments import table8_9_ablation_imputation
+
+
+def test_table8_9_ablation(benchmark):
+    rows = run_once(benchmark, table8_9_ablation_imputation.run, seed=0, max_tasks=24)
+    assert len(rows) == 12
+    for dataset in ("restaurant", "buy"):
+        ladder = [row for row in rows if row["dataset"] == dataset]
+        scores = {row["variant"]: row["score"] for row in ladder}
+        # Paper shape: the full pipeline is the best variant (within noise),
+        # and it improves over the everything-off baseline.
+        assert scores["full UniDM"] >= scores["none"] - 2
+        assert scores["full UniDM"] >= max(scores.values()) - 8

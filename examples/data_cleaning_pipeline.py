@@ -1,0 +1,66 @@
+"""Data-cleaning workflow: error detection + imputation over a benchmark lake.
+
+This mirrors the data-lake motivation of the paper's introduction: a dirty
+table arrives (here, the synthetic Hospital benchmark with 5% injected typos
+and the Restaurant benchmark with masked cities), and the same UniDM pipeline
+first flags suspicious cells and then fills in missing values — no per-task
+model training or rule engineering.
+
+Run with::
+
+    python examples/data_cleaning_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro.core import UniDM, UniDMConfig
+from repro.datasets import load_dataset
+from repro.eval import evaluate, format_table
+from repro.experiments.common import make_unidm
+
+
+def detect_errors(n_cells: int = 60) -> list[dict]:
+    dataset = load_dataset("hospital", seed=0, n_records=60)
+    method = make_unidm(dataset, seed=2)
+    result = evaluate(method, dataset, max_tasks=n_cells)
+    flagged = [
+        {"cell": task.query(), "flagged": bool(pred), "truly_dirty": bool(truth)}
+        for task, pred, truth in zip(
+            dataset.subset(n_cells, seed=0).tasks, result.predictions, result.ground_truth
+        )
+        if pred or truth
+    ]
+    print(format_table(flagged[:12], title=f"Error detection (F1 = {result.score_percent:.1f}%)"))
+    return flagged
+
+
+def impute_missing(n_cells: int = 20) -> None:
+    dataset = load_dataset("restaurant", seed=0, n_records=120, n_tasks=n_cells)
+    llm_method = make_unidm(dataset, seed=2)
+    pipeline: UniDM = llm_method.pipeline
+    rows = []
+    for task, truth in list(zip(dataset.tasks, dataset.ground_truth))[:8]:
+        result = pipeline.run(task)
+        rows.append(
+            {
+                "restaurant": task.entity_key(),
+                "imputed_city": result.value,
+                "true_city": truth,
+                "correct": result.value == truth,
+            }
+        )
+    print(format_table(rows, title="Missing-city imputation (sample of 8 repairs)"))
+    accuracy = evaluate(make_unidm(dataset, seed=2), dataset).score_percent
+    print(f"Imputation accuracy over {len(dataset)} masked cells: {accuracy:.1f}%")
+
+
+def main() -> None:
+    print("Step 1 — flag dirty cells with the unified pipeline\n")
+    detect_errors()
+    print("\nStep 2 — repair missing values with the same pipeline\n")
+    impute_missing()
+    print("\nBoth steps used the identical UniDM configuration:", UniDMConfig.full())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Entity resolution across two product catalogues, UniDM vs. baselines.
+
+The Walmart-Amazon style benchmark pairs records from two product tables; the
+script runs the zero-shot UniDM pipeline next to the trained Ditto and
+Magellan matchers, then shows the fine-tuning effect of Table 5: a small
+(GPT-J-6B class) model is nearly useless zero-shot but competitive after the
+simulated lightweight fine-tuning on the labelled training split.
+
+Run with::
+
+    python examples/entity_resolution_catalog.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DittoMatcher, MagellanMatcher
+from repro.core import UniDMConfig
+from repro.datasets import load_dataset
+from repro.eval import evaluate, format_table
+from repro.experiments.common import UniDMMethod, make_unidm
+from repro.llm import FineTuner
+from repro.llm.profiles import get_profile
+
+
+def main() -> None:
+    dataset = load_dataset("walmart_amazon", seed=0, n_entities=60, n_pairs=100, n_train_pairs=300)
+
+    rows = []
+    for name, method in (
+        ("Magellan (trained)", MagellanMatcher(seed=0)),
+        ("Ditto (trained)", DittoMatcher(seed=0)),
+        ("UniDM zero-shot (GPT-3 class)", make_unidm(dataset, seed=2)),
+        ("UniDM zero-shot (GPT-J-6B class)", make_unidm(dataset, model="gpt-j-6b", seed=2)),
+    ):
+        result = evaluate(method, dataset)
+        rows.append({"method": name, "f1": result.score_percent})
+
+    # Simulated lightweight fine-tuning of the small model (Table 5).
+    tuned_llm, report = FineTuner().fit(
+        get_profile("gpt-j-6b"),
+        dataset.train_pairs,
+        knowledge=dataset.knowledge,
+        domain=dataset.extra["domain"],
+        seed=2,
+    )
+    tuned = UniDMMethod(llm=tuned_llm, config=UniDMConfig.full(seed=2), name="UniDM fine-tuned (GPT-J-6B)")
+    result = evaluate(tuned, dataset)
+    rows.append({"method": "UniDM fine-tuned (GPT-J-6B class)", "f1": result.score_percent})
+
+    print(format_table(rows, title="Entity resolution on the product catalogue pairs (F1 %)"))
+    print(
+        f"\nFine-tuning fitted a decision threshold of {report.threshold:.2f} "
+        f"on {report.n_examples} labelled pairs (train F1 {report.train_f1:.2f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

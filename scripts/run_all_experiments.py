@@ -1,0 +1,67 @@
+"""Regenerate every paper table/figure and write the results to a report file.
+
+Usage::
+
+    python scripts/run_all_experiments.py [--max-tasks N] [--out results.txt]
+
+The per-experiment ``max_tasks`` cap trades fidelity for runtime; ``None``
+(default) runs every benchmark at its full generated size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.eval import format_table
+from repro.experiments import ALL_EXPERIMENTS
+
+COLUMNS = {
+    "table1": ["dataset", "method", "score", "paper"],
+    "table2": ["dataset", "method", "score", "paper"],
+    "table3": ["dataset", "method", "score", "paper", "precision", "recall"],
+    "table4": ["dataset", "method", "score", "paper"],
+    "table5": ["model", "fm_f1", "fm_paper", "unidm_f1", "unidm_paper"],
+    "table6": ["model", "restaurant", "restaurant_paper", "buy", "buy_paper"],
+    "table7": ["dataset", "method", "tokens_per_query", "llm_calls_per_query", "paper"],
+    "table8_9": [
+        "dataset", "variant", "instance_retrieval", "meta_retrieval",
+        "target_prompt", "context_parsing", "score", "paper",
+    ],
+    "table10": ["dataset", "variant", "target_prompt", "context_parsing", "score", "paper"],
+    "table11": ["method", "score", "paper"],
+    "figure5": ["method", "threshold", "precision", "recall", "f1"],
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-tasks", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=Path("experiment_results.txt"))
+    parser.add_argument("--json-out", type=Path, default=Path("experiment_results.json"))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    sections: list[str] = []
+    raw: dict[str, list[dict]] = {}
+    for name, module in ALL_EXPERIMENTS.items():
+        start = time.time()
+        kwargs = {"seed": args.seed}
+        if args.max_tasks is not None:
+            kwargs["max_tasks"] = args.max_tasks
+        rows = module.run(**kwargs)
+        raw[name] = rows
+        elapsed = time.time() - start
+        table = format_table(rows, columns=COLUMNS.get(name), title=f"== {name} ==")
+        sections.append(f"{table}\n({elapsed:.1f}s)\n")
+        print(sections[-1], flush=True)
+
+    args.out.write_text("\n".join(sections), encoding="utf-8")
+    args.json_out.write_text(json.dumps(raw, indent=2, default=str), encoding="utf-8")
+    print(f"wrote {args.out} and {args.json_out}")
+
+
+if __name__ == "__main__":
+    main()

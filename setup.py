@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs also work in
+environments whose setuptools predates PEP 660 editable-wheel support (no
+``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""UniDM reproduction: a unified framework for data manipulation with LLMs.
+
+The package is organised as:
+
+* :mod:`repro.datalake`   — tables, records, schemas and lakes;
+* :mod:`repro.llm`        — language-model interface, simulated LLMs, knowledge;
+* :mod:`repro.prompting`  — the canonical prompt templates;
+* :mod:`repro.core`       — the UniDM pipeline and task adapters;
+* :mod:`repro.transforms` — string transformation operators and program search;
+* :mod:`repro.datasets`   — synthetic counterparts of the paper's benchmarks;
+* :mod:`repro.baselines`  — the comparison systems (HoloClean, FM, Ditto, ...);
+* :mod:`repro.eval`       — metrics and evaluation harnesses;
+* :mod:`repro.experiments`— one module per paper table/figure.
+
+Quickstart::
+
+    from repro.datasets import RestaurantDataset
+    from repro.core import UniDM, UniDMConfig
+    from repro.llm import SimulatedLLM
+
+    dataset = RestaurantDataset(seed=0).build()
+    llm = SimulatedLLM(knowledge=dataset.knowledge, seed=0)
+    pipeline = UniDM(llm, UniDMConfig.full())
+    result = pipeline.run(dataset.tasks[0])
+    print(result.value)
+"""
+
+from .core import ManipulationResult, TaskType, UniDM, UniDMConfig, solve
+from .llm import SimulatedLLM, WorldKnowledge
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ManipulationResult",
+    "SimulatedLLM",
+    "TaskType",
+    "UniDM",
+    "UniDMConfig",
+    "WorldKnowledge",
+    "__version__",
+    "solve",
+]

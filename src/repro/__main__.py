@@ -1,0 +1,83 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``list-datasets``
+    Print the registered benchmark datasets.
+``list-experiments``
+    Print the experiment modules (one per paper table / figure).
+``run-experiment NAME``
+    Regenerate one table / figure (e.g. ``table1`` or ``figure5``).
+``demo``
+    Run the Figure-2 style quickstart on a freshly generated Restaurant task.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import UniDM, UniDMConfig
+from .datasets import list_datasets, load_dataset
+from .experiments import ALL_EXPERIMENTS
+from .llm import SimulatedLLM
+
+
+def _cmd_list_datasets(_: argparse.Namespace) -> int:
+    for name in list_datasets():
+        print(name)
+    return 0
+
+
+def _cmd_list_experiments(_: argparse.Namespace) -> int:
+    for name, module in ALL_EXPERIMENTS.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:10s} {doc}")
+    return 0
+
+
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
+    if args.name not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; available: {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    kwargs = {"seed": args.seed}
+    if args.max_tasks is not None:
+        kwargs["max_tasks"] = args.max_tasks
+    ALL_EXPERIMENTS[args.name].main(**kwargs)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    dataset = load_dataset("restaurant", seed=args.seed, n_records=80, n_tasks=5)
+    llm = SimulatedLLM(knowledge=dataset.knowledge, seed=args.seed)
+    pipeline = UniDM(llm, UniDMConfig.full(seed=args.seed))
+    task = dataset.tasks[0]
+    result = pipeline.run(task)
+    print("query        :", result.query)
+    print("context      :", result.context_text)
+    print("target prompt:", result.trace.target_prompt)
+    print("answer       :", result.value)
+    print("ground truth :", dataset.ground_truth[0])
+    print("tokens       :", result.total_tokens)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-datasets").set_defaults(fn=_cmd_list_datasets)
+    subparsers.add_parser("list-experiments").set_defaults(fn=_cmd_list_experiments)
+    run_parser = subparsers.add_parser("run-experiment")
+    run_parser.add_argument("name")
+    run_parser.add_argument("--max-tasks", type=int, default=None)
+    run_parser.set_defaults(fn=_cmd_run_experiment)
+    subparsers.add_parser("demo").set_defaults(fn=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

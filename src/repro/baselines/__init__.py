@@ -1,0 +1,30 @@
+"""Baseline systems the paper compares UniDM against."""
+
+from .base import Baseline
+from .cmi import CMIImputer
+from .ditto import DittoMatcher, pair_features
+from .evaporate import EvaporateCode, EvaporateCodePlus
+from .fm import FMMethod
+from .holoclean import HoloCleanDetector, HoloCleanImputer
+from .holodetect import HoloDetectDetector
+from .imp import IMPImputer
+from .magellan import MagellanMatcher
+from .tde import TDETransformer
+from .warpgate import WarpGateJoinDiscovery
+
+__all__ = [
+    "Baseline",
+    "CMIImputer",
+    "DittoMatcher",
+    "EvaporateCode",
+    "EvaporateCodePlus",
+    "FMMethod",
+    "HoloCleanDetector",
+    "HoloCleanImputer",
+    "HoloDetectDetector",
+    "IMPImputer",
+    "MagellanMatcher",
+    "TDETransformer",
+    "WarpGateJoinDiscovery",
+    "pair_features",
+]

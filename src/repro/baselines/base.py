@@ -1,0 +1,38 @@
+"""Common interface for the baseline systems the paper compares against.
+
+Most baselines are dataset-level: they fit on the benchmark's table(s) /
+training split and emit one prediction per task instance.  They therefore
+implement ``predict_dataset`` rather than the per-task ``solve`` used by the
+LLM-driven methods.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from ..datasets.base import BenchmarkDataset
+
+
+class Baseline(abc.ABC):
+    """A non-LLM comparison system."""
+
+    #: Name used in result tables.
+    name: str = "baseline"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+    @abc.abstractmethod
+    def predict_dataset(self, dataset: BenchmarkDataset) -> list[Any]:
+        """Return one prediction per task instance of the benchmark."""
+
+    def _check_task_type(self, dataset: BenchmarkDataset, expected) -> None:
+        if dataset.task_type is not expected:
+            raise ValueError(
+                f"{self.name} handles {expected.value!r} benchmarks, "
+                f"got {dataset.task_type.value!r}"
+            )

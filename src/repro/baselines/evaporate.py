@@ -1,0 +1,149 @@
+"""Evaporate baselines (Arora et al. 2023) — code synthesis for extraction.
+
+Evaporate-code asks an LLM to synthesise one extraction function per attribute
+from a few sample documents and applies it to the rest; Evaporate-code+
+synthesises many candidate functions from different samples and aggregates
+their outputs by weak supervision.  The reproduction synthesises the functions
+the same way those generated functions actually look — template-anchored
+regular expressions — so:
+
+* **Evaporate-code** learns its regex from documents of a single template and
+  fails on documents rendered with other templates (Table 11's ~40 F1);
+* **Evaporate-code+** keeps one function per template seen in its sample and
+  takes a majority/first-hit vote, generalising much better (~85 F1).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from ..core.tasks.information_extraction import InformationExtractionTask, strip_markup
+from ..core.types import TaskType
+from ..datasets.base import BenchmarkDataset
+from .base import Baseline
+
+ExtractorFn = Callable[[str], str | None]
+
+
+def _synthesize_extractor(document: str, attribute: str, value: str) -> ExtractorFn | None:
+    """Build a regex extractor anchored on the text surrounding ``value``.
+
+    This mimics what LLM-synthesised extraction code looks like in practice:
+    find the literal label or the characters immediately before the value in
+    this document, and capture what follows it in other documents.
+    """
+    text = strip_markup(document)
+    position = text.find(value)
+    if position < 0:
+        return None
+    value_token_count = max(1, len(value.split()))
+    prefix = text[max(0, position - 28) : position].strip()
+    anchor_words = prefix.split()[-3:]
+
+    if anchor_words:
+        # Anchor on the words immediately before the value.
+        anchor = r"\s+".join(re.escape(word) for word in anchor_words)
+        pattern = re.compile(anchor + r"\s+([A-Za-z0-9][\w .'-]*)", re.IGNORECASE)
+        group_is_prefix = False
+    else:
+        # The value opens the document (e.g. a page whose title is the entity):
+        # anchor on the words that follow it and capture what precedes them.
+        suffix = text[position + len(value) :].strip()
+        # Pages often repeat the title immediately (heading then first
+        # sentence); skip the repetitions so the anchor generalises.
+        while suffix.startswith(value):
+            suffix = suffix[len(value) :].strip()
+        suffix_words = suffix.split()[:3]
+        if not suffix_words:
+            return None
+        anchor = r"\s+".join(re.escape(word) for word in suffix_words)
+        pattern = re.compile(r"^\s*([A-Za-z0-9][\w .'-]*?)\s+" + anchor, re.IGNORECASE)
+        group_is_prefix = True
+
+    def extractor(other_document: str) -> str | None:
+        match = pattern.search(strip_markup(other_document))
+        if not match:
+            return None
+        captured = match.group(1).strip()
+        # Generated functions typically trim trailing sentence fragments and
+        # keep as many tokens as the example value had.
+        captured = re.split(r"[.;]|\s(?:He|She|They)\b", captured)[0].strip()
+        tokens = captured.split()
+        if group_is_prefix:
+            captured = " ".join(tokens[-value_token_count:])
+        else:
+            captured = " ".join(tokens[:value_token_count])
+        return captured or None
+
+    return extractor
+
+
+class EvaporateCode(Baseline):
+    """Single synthesised extraction function per attribute."""
+
+    name = "Evaporate-code"
+
+    def __init__(self, seed: int = 0, n_sample_documents: int = 2):
+        super().__init__(seed)
+        self.n_sample_documents = n_sample_documents
+
+    def _sample_documents(self, dataset: BenchmarkDataset) -> list:
+        documents = dataset.extra.get("documents", [])
+        if not documents:
+            raise ValueError("dataset does not carry source documents")
+        k = min(self.n_sample_documents, len(documents))
+        indices = self.rng.choice(len(documents), size=k, replace=False)
+        return [documents[int(i)] for i in indices]
+
+    def _build_extractors(self, dataset: BenchmarkDataset) -> dict[str, list[ExtractorFn]]:
+        extractors: dict[str, list[ExtractorFn]] = {}
+        for doc in self._sample_documents(dataset):
+            for attribute, value in doc.values.items():
+                fn = _synthesize_extractor(doc.document, attribute, str(value))
+                if fn is not None:
+                    extractors.setdefault(attribute, []).append(fn)
+        return extractors
+
+    def predict_dataset(self, dataset: BenchmarkDataset) -> list[Any]:
+        self._check_task_type(dataset, TaskType.INFORMATION_EXTRACTION)
+        extractors = self._build_extractors(dataset)
+        predictions: list[str] = []
+        for task in dataset.tasks:
+            if not isinstance(task, InformationExtractionTask):
+                raise TypeError(f"unexpected task type {type(task)!r}")
+            functions = extractors.get(task.attribute, [])
+            value = None
+            for fn in functions[:1]:  # code: a single function per attribute
+                value = fn(task.document)
+                if value:
+                    break
+            predictions.append(value or "")
+        return predictions
+
+
+class EvaporateCodePlus(EvaporateCode):
+    """Ensemble of synthesised functions with first-hit aggregation."""
+
+    name = "Evaporate-code+"
+
+    def __init__(self, seed: int = 0, n_sample_documents: int = 14):
+        super().__init__(seed=seed, n_sample_documents=n_sample_documents)
+
+    def predict_dataset(self, dataset: BenchmarkDataset) -> list[Any]:
+        self._check_task_type(dataset, TaskType.INFORMATION_EXTRACTION)
+        extractors = self._build_extractors(dataset)
+        predictions: list[str] = []
+        for task in dataset.tasks:
+            if not isinstance(task, InformationExtractionTask):
+                raise TypeError(f"unexpected task type {type(task)!r}")
+            votes: dict[str, int] = {}
+            for fn in extractors.get(task.attribute, []):
+                value = fn(task.document)
+                if value:
+                    votes[value] = votes.get(value, 0) + 1
+            if votes:
+                predictions.append(max(votes.items(), key=lambda kv: kv[1])[0])
+            else:
+                predictions.append("")
+        return predictions

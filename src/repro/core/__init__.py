@@ -1,0 +1,54 @@
+"""UniDM core: the unified framework, pipeline steps and task adapters."""
+
+from .cloze import TargetPrompt, TargetPromptBuilder
+from .config import UniDMConfig
+from .parsing import ContextParser, ParsedContext
+from .pipeline import UniDM, solve
+from .retrieval import ContextRetriever, RetrievedContext
+from .serialization import (
+    numbered_instances,
+    record_pairs,
+    serialize_record,
+    serialize_records,
+    serialize_rows,
+)
+from .tasks import (
+    EntityResolutionTask,
+    ErrorDetectionTask,
+    ImputationTask,
+    InformationExtractionTask,
+    JoinDiscoveryTask,
+    TableQATask,
+    Task,
+    TransformationTask,
+)
+from .types import ManipulationResult, PromptTrace, TaskType, TASK_DESCRIPTIONS
+
+__all__ = [
+    "ContextParser",
+    "ContextRetriever",
+    "EntityResolutionTask",
+    "ErrorDetectionTask",
+    "ImputationTask",
+    "InformationExtractionTask",
+    "JoinDiscoveryTask",
+    "ManipulationResult",
+    "ParsedContext",
+    "PromptTrace",
+    "RetrievedContext",
+    "TASK_DESCRIPTIONS",
+    "TableQATask",
+    "TargetPrompt",
+    "TargetPromptBuilder",
+    "Task",
+    "TaskType",
+    "TransformationTask",
+    "UniDM",
+    "UniDMConfig",
+    "numbered_instances",
+    "record_pairs",
+    "serialize_record",
+    "serialize_records",
+    "serialize_rows",
+    "solve",
+]

@@ -1,0 +1,91 @@
+"""Configuration of the UniDM pipeline.
+
+Every component the paper ablates (Tables 8-10) is an independent switch here,
+so a single config object expresses both the full method and all its variants:
+
+* ``use_meta_retrieval``       — prompt ``p_rm`` picks helpful attributes;
+* ``use_instance_retrieval``   — prompt ``p_ri`` scores and ranks records;
+* ``use_context_parsing``      — prompt ``p_dp`` rewrites pairs into text;
+* ``use_cloze_prompt``         — prompt ``p_cq`` builds a cloze target prompt.
+
+Hyper-parameters default to the paper's setting (Section 5.1): one attribute
+from meta-wise retrieval and the top-3 of 50 randomly sampled records from
+instance-wise retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class UniDMConfig:
+    """Switches and hyper-parameters of the pipeline."""
+
+    use_meta_retrieval: bool = True
+    use_instance_retrieval: bool = True
+    use_context_parsing: bool = True
+    use_cloze_prompt: bool = True
+
+    #: Number of attributes kept from meta-wise retrieval.
+    n_meta_attributes: int = 1
+    #: Number of records kept from instance-wise retrieval (top-k).
+    top_k_instances: int = 3
+    #: Size of the random candidate pool scored by instance-wise retrieval.
+    candidate_sample_size: int = 50
+    #: Seed for the pipeline's own randomness (candidate sampling, random
+    #: context in ablations).  The LLM has its own seed.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_meta_attributes < 0:
+            raise ValueError("n_meta_attributes must be >= 0")
+        if self.top_k_instances < 0:
+            raise ValueError("top_k_instances must be >= 0")
+        if self.candidate_sample_size < self.top_k_instances:
+            raise ValueError(
+                "candidate_sample_size must be >= top_k_instances"
+            )
+
+    # -- named variants used throughout the experiments -----------------------
+    def with_updates(self, **changes) -> "UniDMConfig":
+        return replace(self, **changes)
+
+    @classmethod
+    def full(cls, **overrides) -> "UniDMConfig":
+        """The complete UniDM pipeline (paper default)."""
+        return cls(**overrides)
+
+    @classmethod
+    def random_context(cls, **overrides) -> "UniDMConfig":
+        """UniDM (random) — context chosen randomly instead of retrieved."""
+        return cls(
+            use_meta_retrieval=False,
+            use_instance_retrieval=False,
+            **overrides,
+        )
+
+    @classmethod
+    def no_retrieval(cls, **overrides) -> "UniDMConfig":
+        """Alias of :meth:`random_context`, named as in Table 7."""
+        return cls.random_context(**overrides)
+
+    @classmethod
+    def baseline_prompting(cls, **overrides) -> "UniDMConfig":
+        """All components off: random context, serialized pairs, direct prompt."""
+        return cls(
+            use_meta_retrieval=False,
+            use_instance_retrieval=False,
+            use_context_parsing=False,
+            use_cloze_prompt=False,
+            **overrides,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary used in ablation tables."""
+        parts = []
+        parts.append("instance" if self.use_instance_retrieval else "-")
+        parts.append("meta" if self.use_meta_retrieval else "-")
+        parts.append("cloze" if self.use_cloze_prompt else "-")
+        parts.append("parse" if self.use_context_parsing else "-")
+        return "/".join(parts)

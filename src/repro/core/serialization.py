@@ -1,0 +1,78 @@
+"""The ``serialize()`` function of the pipeline (Section 4.3).
+
+Context records are losslessly encoded as ``attribute: value`` pairs before
+being either fed directly to the LLM (FM-style) or rewritten into fluent text
+by the context-parsing step.  The subject (primary key or first attribute) is
+always serialized first so that downstream steps can recover "which entity a
+row is about".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datalake.table import Record, is_missing
+
+
+def record_pairs(
+    record: Record,
+    attributes: Sequence[str] | None = None,
+    include_missing: bool = False,
+) -> list[tuple[str, str]]:
+    """The (attribute, value) pairs of a record, subject attribute first."""
+    names = list(attributes) if attributes is not None else record.schema.names
+    pk = record.schema.primary_key()
+    ordered = names
+    if pk is not None and pk.name in names:
+        ordered = [pk.name] + [n for n in names if n != pk.name]
+    pairs: list[tuple[str, str]] = []
+    for name in ordered:
+        if name not in record.schema:
+            continue
+        value = record[name]
+        if is_missing(value) and not include_missing:
+            continue
+        pairs.append((name, "?" if is_missing(value) else str(value)))
+    return pairs
+
+
+def serialize_record(
+    record: Record,
+    attributes: Sequence[str] | None = None,
+    include_missing: bool = False,
+    pair_separator: str = ", ",
+) -> str:
+    """Serialize one record as ``"attr: value, attr: value"``."""
+    return pair_separator.join(
+        f"{attr}: {value}"
+        for attr, value in record_pairs(record, attributes, include_missing)
+    )
+
+
+def serialize_records(
+    records: Sequence[Record],
+    attributes: Sequence[str] | None = None,
+    include_missing: bool = False,
+) -> str:
+    """Serialize several records, one per line (the ``V`` of Section 4.3)."""
+    return "\n".join(
+        serialize_record(r, attributes, include_missing) for r in records
+    )
+
+
+def serialize_rows(rows: Sequence[Sequence[tuple[str, str]]]) -> str:
+    """Serialize pre-built (attribute, value) rows, one per line."""
+    return "\n".join(
+        ", ".join(f"{attr}: {value}" for attr, value in row) for row in rows if row
+    )
+
+
+def numbered_instances(
+    records: Sequence[Record],
+    attributes: Sequence[str] | None = None,
+) -> str:
+    """Render candidate records as the numbered list used in prompt ``p_ri``."""
+    return "\n".join(
+        f"{index}) {serialize_record(record, attributes)}"
+        for index, record in enumerate(records, start=1)
+    )

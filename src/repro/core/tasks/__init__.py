@@ -1,0 +1,27 @@
+"""Task adapters for every data manipulation task subsumed by the framework."""
+
+from .base import Task, first_line, parse_yes_no, restrict_attributes
+from .entity_resolution import EntityResolutionTask
+from .error_detection import ErrorDetectionTask
+from .imputation import ImputationTask
+from .information_extraction import InformationExtractionTask, strip_markup
+from .join_discovery import JoinDiscoveryTask
+from .table_qa import TableQATask
+from .transformation import SOURCE_ATTR, TRANSFORMED_ATTR, TransformationTask
+
+__all__ = [
+    "EntityResolutionTask",
+    "ErrorDetectionTask",
+    "ImputationTask",
+    "InformationExtractionTask",
+    "JoinDiscoveryTask",
+    "SOURCE_ATTR",
+    "TRANSFORMED_ATTR",
+    "TableQATask",
+    "Task",
+    "TransformationTask",
+    "first_line",
+    "parse_yes_no",
+    "restrict_attributes",
+    "strip_markup",
+]

@@ -1,0 +1,71 @@
+"""Entity resolution task adapter.
+
+``R = {r1, r2}`` holds two records and ``F_T`` outputs whether they refer to
+the same real-world entity (Section 3).  The target query is
+``"Entity A is <r1>, Entity B is <r2>"`` (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...datalake.table import Record, Table
+from ..serialization import serialize_record
+from ..types import TaskType
+from .base import Task, parse_yes_no
+
+
+class EntityResolutionTask(Task):
+    """Decide whether two records are the same entity (True = match)."""
+
+    task_type = TaskType.ENTITY_RESOLUTION
+
+    def __init__(
+        self,
+        record_a: Record,
+        record_b: Record,
+        attributes: Sequence[str] | None = None,
+        table: Table | None = None,
+    ):
+        self._record_a = record_a
+        self._record_b = record_b
+        self._attributes = list(attributes) if attributes else None
+        self._table = table
+
+    @property
+    def record_a(self) -> Record:
+        return self._record_a
+
+    @property
+    def record_b(self) -> Record:
+        return self._record_b
+
+    def table(self) -> Table | None:
+        return self._table
+
+    def target_records(self) -> list[Record]:
+        return [self._record_a, self._record_b]
+
+    def target_attributes(self) -> list[str]:
+        if self._attributes is not None:
+            return list(self._attributes)
+        return list(self._record_a.schema.names)
+
+    @property
+    def needs_retrieval(self) -> bool:
+        # Context retrieval over the source table is only possible when the
+        # task was constructed with a backing table.
+        return self._table is not None
+
+    def describe_a(self) -> str:
+        return serialize_record(self._record_a, self._attributes)
+
+    def describe_b(self) -> str:
+        return serialize_record(self._record_b, self._attributes)
+
+    def query(self) -> str:
+        return f"Entity A is {self.describe_a()}, Entity B is {self.describe_b()}"
+
+    def parse_answer(self, text: str) -> bool:
+        """True when the LLM judges the two records to be the same entity."""
+        return parse_yes_no(text)

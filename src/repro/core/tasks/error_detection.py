@@ -1,0 +1,54 @@
+"""Error detection task adapter.
+
+``F_T`` predicts whether ``record[attribute]`` is a valid value (Section 3).
+The target query takes the form ``"attribute: value?"`` (Section 4.5), and the
+retrieved context supplies examples of how the attribute's domain normally
+looks, which is what lets the LLM judge distributional outliers.
+"""
+
+from __future__ import annotations
+
+from ...datalake.table import Record, Table
+from ..types import TaskType
+from .base import Task, parse_yes_no
+
+
+class ErrorDetectionTask(Task):
+    """Decide whether ``record[attribute]`` contains an error (True = error)."""
+
+    task_type = TaskType.ERROR_DETECTION
+
+    def __init__(self, table: Table, record: Record, attribute: str):
+        if attribute not in table.schema:
+            raise KeyError(f"attribute {attribute!r} not in table {table.name!r}")
+        self._table = table
+        self._record = record
+        self._attribute = attribute
+
+    @property
+    def record(self) -> Record:
+        return self._record
+
+    @property
+    def attribute(self) -> str:
+        return self._attribute
+
+    @property
+    def value(self) -> str:
+        return str(self._record[self._attribute])
+
+    def table(self) -> Table:
+        return self._table
+
+    def target_records(self) -> list[Record]:
+        return [self._record]
+
+    def target_attributes(self) -> list[str]:
+        return [self._attribute]
+
+    def query(self) -> str:
+        return f"{self._attribute}: {self.value}?"
+
+    def parse_answer(self, text: str) -> bool:
+        """True when the LLM judges the value erroneous."""
+        return parse_yes_no(text)

@@ -1,0 +1,69 @@
+"""Data imputation task adapter.
+
+``S`` contains a single attribute, ``R`` a single record with a missing value
+on that attribute; ``F_T`` outputs the missing value (Section 3).  The target
+query takes the form "<primary key of R>, <attribute>" (Section 4.2), e.g.
+``"Copenhagen, timezone"``.
+"""
+
+from __future__ import annotations
+
+from ...datalake.table import Record, Table
+from ..types import TaskType
+from .base import Task, first_line
+
+
+class ImputationTask(Task):
+    """Impute ``record[attribute]`` using the rest of ``table`` as evidence."""
+
+    task_type = TaskType.DATA_IMPUTATION
+
+    def __init__(self, table: Table, record: Record, attribute: str):
+        if attribute not in table.schema:
+            raise KeyError(f"attribute {attribute!r} not in table {table.name!r}")
+        self._table = table
+        self._record = record
+        self._attribute = attribute
+
+    # -- unified-framework pieces -------------------------------------------------
+    @property
+    def record(self) -> Record:
+        return self._record
+
+    @property
+    def attribute(self) -> str:
+        return self._attribute
+
+    def table(self) -> Table:
+        return self._table
+
+    def target_records(self) -> list[Record]:
+        return [self._record]
+
+    def target_attributes(self) -> list[str]:
+        return [self._attribute]
+
+    def entity_key(self) -> str:
+        """The primary-key value identifying the target record in prompts."""
+        pk = self._table.schema.primary_key()
+        if pk is not None:
+            return str(self._record[pk.name])
+        # Fall back to the first non-target attribute value.
+        for name in self._table.schema.names:
+            if name != self._attribute:
+                return str(self._record[name])
+        return str(self._record.values()[0])
+
+    def query(self) -> str:
+        return f"{self.entity_key()}, {self._attribute}"
+
+    def candidate_attributes(self) -> list[str]:
+        pk = self._table.schema.primary_key()
+        exclude = {self._attribute}
+        if pk is not None:
+            exclude.add(pk.name)
+        return [n for n in self._table.schema.names if n not in exclude]
+
+    # -- answer -----------------------------------------------------------------------
+    def parse_answer(self, text: str) -> str:
+        return first_line(text)

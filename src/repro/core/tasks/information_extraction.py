@@ -1,0 +1,60 @@
+"""Information extraction task adapter (Appendix E of the paper).
+
+The task builds a structured (tabular) view of semi-structured documents: for
+each document and each attribute of a user-defined schema, extract the value.
+Context retrieval is not used — the attributes and the document are supplied by
+the user — and the document's pre-processed text chunk serves directly as the
+context (the paper "temporarily removed the context retrieval module" for this
+task).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..types import TaskType
+from .base import Task, first_line
+
+
+def strip_markup(document: str) -> str:
+    """Very small HTML/markup stripper used as the pre-processing step."""
+    text = re.sub(r"<[^>]+>", " ", document)
+    return re.sub(r"\s+", " ", text).strip()
+
+
+class InformationExtractionTask(Task):
+    """Extract the value of ``attribute`` from one semi-structured document."""
+
+    task_type = TaskType.INFORMATION_EXTRACTION
+
+    def __init__(self, document: str, attribute: str, max_chunk_chars: int = 2000):
+        if not attribute.strip():
+            raise ValueError("attribute must be non-empty")
+        self._document = str(document)
+        self._attribute = attribute.strip()
+        self._max_chunk_chars = max_chunk_chars
+
+    @property
+    def attribute(self) -> str:
+        return self._attribute
+
+    @property
+    def document(self) -> str:
+        return self._document
+
+    @property
+    def needs_retrieval(self) -> bool:
+        return False
+
+    def query(self) -> str:
+        return self._attribute
+
+    def target_attributes(self) -> list[str]:
+        return [self._attribute]
+
+    def context_text(self) -> str:
+        """The pre-processed text chunk of the document."""
+        return strip_markup(self._document)[: self._max_chunk_chars]
+
+    def parse_answer(self, text: str) -> str:
+        return first_line(text)

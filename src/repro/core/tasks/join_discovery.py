@@ -1,0 +1,107 @@
+"""Join discovery task adapter (Appendix D of the paper).
+
+Given a column in each of two tables, decide whether the columns are
+semantically joinable.  The query names the two columns
+(``"fifa_ranking.country_abrv VERSUS countries_and_continents.ISO"``); the
+context carries sample records from both tables plus the sampled values of the
+two columns, which — once parsed into sentences such as
+``"Germany" is abbreviated as "GER"`` — give the LLM the evidence it needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...datalake.sampling import sample_records
+from ...datalake.table import Table, is_missing
+from ..types import TaskType
+from .base import Task, parse_yes_no
+
+#: Pseudo-attributes used for the "column X contains ..." context rows; the
+#: dataset layer registers a sentence template for ``CONTAINS_ATTR``.
+COLUMN_ATTR = "column"
+CONTAINS_ATTR = "contains"
+
+
+class JoinDiscoveryTask(Task):
+    """Decide whether ``table_a.column_a`` joins with ``table_b.column_b``."""
+
+    task_type = TaskType.JOIN_DISCOVERY
+
+    def __init__(
+        self,
+        table_a: Table,
+        column_a: str,
+        table_b: Table,
+        column_b: str,
+        n_sample_values: int = 6,
+        n_sample_records: int = 2,
+        seed: int = 0,
+    ):
+        for table, column in ((table_a, column_a), (table_b, column_b)):
+            if column not in table.schema:
+                raise KeyError(f"column {column!r} not in table {table.name!r}")
+        self.table_a, self.column_a = table_a, column_a
+        self.table_b, self.column_b = table_b, column_b
+        self.n_sample_values = n_sample_values
+        self.n_sample_records = n_sample_records
+        self.seed = seed
+
+    @property
+    def needs_retrieval(self) -> bool:
+        return False
+
+    def qualified_a(self) -> str:
+        return f"{self.table_a.name}.{self.column_a}"
+
+    def qualified_b(self) -> str:
+        return f"{self.table_b.name}.{self.column_b}"
+
+    def query(self) -> str:
+        return f"{self.qualified_a()} VERSUS {self.qualified_b()}"
+
+    def target_attributes(self) -> list[str]:
+        return [self.column_a, self.column_b]
+
+    def _companion_attribute(self, table: Table, column: str) -> str | None:
+        """A descriptive attribute to pair with the join column in context rows."""
+        for name in table.schema.names:
+            if name != column and not table.schema[name].type.is_numeric():
+                return name
+        return None
+
+    def _sample_values(self, table: Table, column: str, rng: np.random.Generator) -> list[str]:
+        values = [v for v in table.distinct(column) if not is_missing(v)]
+        if not values:
+            return []
+        idx = rng.permutation(len(values))[: self.n_sample_values]
+        return [str(values[int(i)]) for i in idx]
+
+    def context_rows(self) -> list[list[tuple[str, str]]]:
+        rng = np.random.default_rng(self.seed)
+        rows: list[list[tuple[str, str]]] = []
+        for table, column in ((self.table_a, self.column_a), (self.table_b, self.column_b)):
+            companion = self._companion_attribute(table, column)
+            for record in sample_records(table, self.n_sample_records, rng=rng):
+                if is_missing(record[column]):
+                    continue
+                if companion is not None and not is_missing(record[companion]):
+                    rows.append(
+                        [(companion, str(record[companion])), (column, str(record[column]))]
+                    )
+                else:
+                    rows.append([(column, str(record[column]))])
+        for table, column, qualified in (
+            (self.table_a, self.column_a, self.qualified_a()),
+            (self.table_b, self.column_b, self.qualified_b()),
+        ):
+            values = self._sample_values(table, column, rng)
+            if values:
+                rows.append(
+                    [(COLUMN_ATTR, qualified), (CONTAINS_ATTR, " and ".join(values))]
+                )
+        return rows
+
+    def parse_answer(self, text: str) -> bool:
+        """True when the columns are judged joinable."""
+        return parse_yes_no(text)

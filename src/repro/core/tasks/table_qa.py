@@ -1,0 +1,47 @@
+"""Table question answering task adapter (Appendix C of the paper).
+
+The query ``Q`` is the natural-language question itself; ``R`` and ``S`` span
+the full table, and context retrieval selects the "content snapshot" (relevant
+columns and rows) that the question needs.
+"""
+
+from __future__ import annotations
+
+from ...datalake.table import Table
+from ..types import TaskType
+from .base import Task, first_line
+
+
+class TableQATask(Task):
+    """Answer a free-form question over a single table."""
+
+    task_type = TaskType.TABLE_QA
+
+    def __init__(self, table: Table, question: str):
+        if not question.strip():
+            raise ValueError("question must be non-empty")
+        self._table = table
+        self._question = question.strip()
+
+    @property
+    def question(self) -> str:
+        return self._question
+
+    def table(self) -> Table:
+        return self._table
+
+    def target_records(self) -> list:
+        return self._table.records
+
+    def target_attributes(self) -> list[str]:
+        return list(self._table.schema.names)
+
+    def candidate_attributes(self) -> list[str]:
+        # Appendix C: for TableQA the candidate set S' equals S (all columns).
+        return list(self._table.schema.names)
+
+    def query(self) -> str:
+        return self._question
+
+    def parse_answer(self, text: str) -> str:
+        return first_line(text)

@@ -1,0 +1,64 @@
+"""Data transformation task adapter.
+
+The task converts a value from one format to another, guided by user-provided
+input/output examples (the TDE benchmark setting).  Context retrieval does not
+apply (Section 5.3 notes the ablation omits it); instead the examples
+themselves form the context rows handed to the parsing / prompting steps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..types import TaskType
+from .base import Task, first_line
+
+#: Attribute labels used when serializing example pairs; the knowledge store
+#: registers a sentence template for ``TRANSFORMED_ATTR`` ("X can be
+#: transformed to Y") so that context parsing produces fluent example text.
+SOURCE_ATTR = "data before transformation"
+TRANSFORMED_ATTR = "data after transformation"
+
+
+class TransformationTask(Task):
+    """Transform ``source`` following the pattern shown by ``examples``."""
+
+    task_type = TaskType.DATA_TRANSFORMATION
+
+    def __init__(
+        self,
+        source: str,
+        examples: Sequence[tuple[str, str]],
+        name: str = "",
+    ):
+        if not examples:
+            raise ValueError("a transformation task needs at least one example pair")
+        self._source = str(source)
+        self._examples = [(str(a), str(b)) for a, b in examples]
+        self._name = name
+
+    @property
+    def source(self) -> str:
+        return self._source
+
+    @property
+    def examples(self) -> list[tuple[str, str]]:
+        return list(self._examples)
+
+    @property
+    def needs_retrieval(self) -> bool:
+        return False
+
+    def query(self) -> str:
+        # Section 4.5: Q is directly the attribute value to transform; the
+        # paper writes it as "19990415:?".
+        return f"{self._source}:?"
+
+    def context_rows(self) -> list[list[tuple[str, str]]]:
+        return [
+            [(SOURCE_ATTR, src), (TRANSFORMED_ATTR, dst)]
+            for src, dst in self._examples
+        ]
+
+    def parse_answer(self, text: str) -> str:
+        return first_line(text)

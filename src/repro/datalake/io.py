@@ -1,0 +1,123 @@
+"""Serialisation of tables and lakes to CSV / JSON.
+
+The reproduction ships synthetic generators rather than the original benchmark
+downloads, but a real deployment ingests files sitting in object storage, so
+the substrate still provides round-trippable CSV and JSON persistence.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from .lake import DataLake
+from .schema import Attribute, AttributeType, Schema
+from .table import Table, is_missing
+
+
+def table_to_csv(table: Table, path: str | Path) -> Path:
+    """Write a table as a CSV file with a header row; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.names)
+        for record in table:
+            writer.writerow(
+                ["" if is_missing(v) else v for v in record.values()]
+            )
+    return path
+
+
+def table_from_csv(
+    path: str | Path,
+    name: str | None = None,
+    schema: Schema | None = None,
+) -> Table:
+    """Load a CSV file (header row required) into a Table."""
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"CSV file {path} is empty")
+    header, body = rows[0], rows[1:]
+    if schema is None:
+        schema = Schema([Attribute(h) for h in header])
+    table = Table(name or path.stem, schema)
+    for row in body:
+        values = {h: (v if v != "" else None) for h, v in zip(header, row)}
+        table.append({k: values.get(k) for k in schema.names})
+    return table
+
+
+def table_to_json(table: Table, path: str | Path | None = None) -> str:
+    """Serialise a table (schema + rows) to a JSON string, optionally to disk."""
+    payload: dict[str, Any] = {
+        "name": table.name,
+        "description": table.description,
+        "schema": [
+            {
+                "name": a.name,
+                "type": a.type.value,
+                "primary_key": a.primary_key,
+                "description": a.description,
+                "domain": a.domain,
+            }
+            for a in table.schema
+        ],
+        "records": table.to_dicts(),
+    }
+    text = json.dumps(payload, indent=2, default=str)
+    if path is not None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    return text
+
+
+def table_from_json(source: str | Path) -> Table:
+    """Load a table from a JSON string or file produced by :func:`table_to_json`."""
+    if isinstance(source, Path) or (
+        isinstance(source, str) and "\n" not in source and source.endswith(".json")
+    ):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = str(source)
+    payload = json.loads(text)
+    schema = Schema(
+        [
+            Attribute(
+                name=a["name"],
+                type=AttributeType(a.get("type", "text")),
+                primary_key=a.get("primary_key", False),
+                description=a.get("description", ""),
+                domain=a.get("domain", ""),
+            )
+            for a in payload["schema"]
+        ]
+    )
+    table = Table(payload["name"], schema, description=payload.get("description", ""))
+    for row in payload["records"]:
+        table.append({k: row.get(k) for k in schema.names})
+    return table
+
+
+def lake_to_directory(lake: DataLake, directory: str | Path) -> Path:
+    """Persist every table of a lake as ``<directory>/<table>.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for table in lake.tables:
+        table_to_json(table, directory / f"{table.name}.json")
+    return directory
+
+
+def lake_from_directory(directory: str | Path, name: str = "lake") -> DataLake:
+    """Load every ``*.json`` table in a directory into a DataLake."""
+    directory = Path(directory)
+    lake = DataLake(name=name)
+    for path in sorted(directory.glob("*.json")):
+        lake.add(table_from_json(path))
+    return lake

@@ -1,0 +1,46 @@
+"""Synthetic counterparts of the paper's benchmark datasets."""
+
+from .base import BenchmarkDataset, DatasetBuilder
+from .corruption import InjectedError, corrupt_value, inject_errors
+from .entity_resolution import (
+    AmazonGoogleDataset,
+    BeerDataset,
+    ItunesAmazonDataset,
+    WalmartAmazonDataset,
+)
+from .error_detection import AdultDataset, HospitalDataset
+from .extraction import NBAPlayersDataset
+from .imputation import BuyDataset, RestaurantDataset
+from .join_discovery import NextiaJDDataset
+from .registry import DATASET_REGISTRY, list_datasets, load_dataset
+from .table_qa import WikiTableQuestionsDataset
+from .transformation import (
+    BingQueryLogsDataset,
+    StackOverflowDataset,
+    TransformationCase,
+)
+
+__all__ = [
+    "AdultDataset",
+    "AmazonGoogleDataset",
+    "BeerDataset",
+    "BenchmarkDataset",
+    "BingQueryLogsDataset",
+    "BuyDataset",
+    "DATASET_REGISTRY",
+    "DatasetBuilder",
+    "HospitalDataset",
+    "InjectedError",
+    "ItunesAmazonDataset",
+    "NBAPlayersDataset",
+    "NextiaJDDataset",
+    "RestaurantDataset",
+    "StackOverflowDataset",
+    "TransformationCase",
+    "WalmartAmazonDataset",
+    "WikiTableQuestionsDataset",
+    "corrupt_value",
+    "inject_errors",
+    "list_datasets",
+    "load_dataset",
+]

@@ -1,0 +1,113 @@
+"""Error-injection utilities for the data-cleaning benchmarks.
+
+The Hospital and Adult error-detection benchmarks corrupt a fixed fraction of
+cells (5% in the paper); the corruptions here follow the typo patterns those
+benchmarks exhibit (character substitution — classically an ``x`` — deletions,
+transpositions, and category swaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..datalake.table import Table, is_missing
+
+
+def substitute_char(value: str, rng: np.random.Generator, replacement: str = "x") -> str:
+    """Replace one alphabetic character with ``replacement`` (Hospital-style typo)."""
+    value = str(value)
+    positions = [i for i, c in enumerate(value) if c.isalpha() and c.lower() != replacement]
+    if not positions:
+        return value + replacement
+    index = int(positions[int(rng.integers(len(positions)))])
+    return value[:index] + replacement + value[index + 1 :]
+
+
+def delete_char(value: str, rng: np.random.Generator) -> str:
+    value = str(value)
+    if len(value) <= 1:
+        return value
+    index = int(rng.integers(len(value)))
+    return value[:index] + value[index + 1 :]
+
+
+def transpose_chars(value: str, rng: np.random.Generator) -> str:
+    value = str(value)
+    if len(value) < 2:
+        return value
+    index = int(rng.integers(len(value) - 1))
+    return value[:index] + value[index + 1] + value[index] + value[index + 2 :]
+
+
+def duplicate_char(value: str, rng: np.random.Generator) -> str:
+    value = str(value)
+    if not value:
+        return value
+    index = int(rng.integers(len(value)))
+    return value[: index + 1] + value[index] * 3 + value[index + 1 :]
+
+
+def corrupt_value(value: str, rng: np.random.Generator) -> str:
+    """Apply one randomly chosen typo; guaranteed to differ from the input."""
+    corruptions = (substitute_char, delete_char, transpose_chars, duplicate_char)
+    for _ in range(5):
+        fn = corruptions[int(rng.integers(len(corruptions)))]
+        corrupted = fn(value, rng)
+        if corrupted != str(value):
+            return corrupted
+    return str(value) + "x"
+
+
+@dataclass(frozen=True)
+class InjectedError:
+    """Bookkeeping for one corrupted cell."""
+
+    record_index: int
+    attribute: str
+    clean_value: str
+    dirty_value: str
+
+
+def inject_errors(
+    table: Table,
+    attributes: Sequence[str],
+    error_rate: float,
+    rng: np.random.Generator,
+) -> list[InjectedError]:
+    """Corrupt ``error_rate`` of the cells of ``attributes`` in place.
+
+    Returns the list of injected errors (the ground truth for error detection).
+    The table is modified in place, mirroring how a dirty dataset arrives with
+    no clean copy attached.
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError("error_rate must be in [0, 1]")
+    cells = [
+        (i, attr)
+        for i, record in enumerate(table.records)
+        for attr in attributes
+        if not is_missing(record[attr])
+    ]
+    n_errors = int(round(error_rate * len(cells)))
+    if n_errors == 0:
+        return []
+    chosen = rng.choice(len(cells), size=n_errors, replace=False)
+    errors: list[InjectedError] = []
+    records = table.records
+    for flat_index in np.atleast_1d(chosen):
+        record_index, attribute = cells[int(flat_index)]
+        clean = str(records[record_index][attribute])
+        dirty = corrupt_value(clean, rng)
+        records[record_index][attribute] = dirty
+        errors.append(
+            InjectedError(
+                record_index=record_index,
+                attribute=attribute,
+                clean_value=clean,
+                dirty_value=dirty,
+            )
+        )
+    return errors

@@ -1,0 +1,51 @@
+"""Dataset registry: look up a builder by name and build it with a seed."""
+
+from __future__ import annotations
+
+from typing import Type
+
+from .base import BenchmarkDataset, DatasetBuilder
+from .entity_resolution import (
+    AmazonGoogleDataset,
+    BeerDataset,
+    ItunesAmazonDataset,
+    WalmartAmazonDataset,
+)
+from .error_detection import AdultDataset, HospitalDataset
+from .extraction import NBAPlayersDataset
+from .imputation import BuyDataset, RestaurantDataset
+from .join_discovery import NextiaJDDataset
+from .table_qa import WikiTableQuestionsDataset
+from .transformation import BingQueryLogsDataset, StackOverflowDataset
+
+DATASET_REGISTRY: dict[str, Type[DatasetBuilder]] = {
+    cls.name: cls
+    for cls in (
+        RestaurantDataset,
+        BuyDataset,
+        StackOverflowDataset,
+        BingQueryLogsDataset,
+        HospitalDataset,
+        AdultDataset,
+        BeerDataset,
+        AmazonGoogleDataset,
+        ItunesAmazonDataset,
+        WalmartAmazonDataset,
+        WikiTableQuestionsDataset,
+        NextiaJDDataset,
+        NBAPlayersDataset,
+    )
+}
+
+
+def list_datasets() -> list[str]:
+    """Names of all registered benchmark datasets."""
+    return sorted(DATASET_REGISTRY)
+
+
+def load_dataset(name: str, seed: int = 0, **kwargs) -> BenchmarkDataset:
+    """Build the named dataset with the given seed and builder overrides."""
+    key = name.lower()
+    if key not in DATASET_REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; available: {list_datasets()}")
+    return DATASET_REGISTRY[key](seed=seed, **kwargs).build()

@@ -1,0 +1,99 @@
+"""Table question answering dataset (WikiTableQuestions style, Appendix C).
+
+Small tables with aggregation questions ("how many gold medals did Australia
+and Switzerland total?").  The paper only uses TableQA as a worked example of
+generality (Figure 3), so the dataset is modest in size; it exists to exercise
+the end-to-end pipeline on table-level (rather than cell-level) queries.
+"""
+
+from __future__ import annotations
+
+from ..core.tasks.table_qa import TableQATask
+from ..core.types import TaskType
+from ..datalake.schema import Attribute, AttributeType, Schema
+from ..datalake.table import Table
+from ..llm.knowledge import WorldKnowledge
+from .base import BenchmarkDataset, DatasetBuilder
+
+_NATIONS = [
+    "Australia (AUS)", "Italy (ITA)", "Germany (EUA)", "Soviet Union (URS)",
+    "Switzerland (SUI)", "United States (USA)", "Great Britain (GBR)",
+    "France (FRA)", "Canada (CAN)", "Japan (JPN)", "Norway (NOR)", "Sweden (SWE)",
+]
+
+
+class WikiTableQuestionsDataset(DatasetBuilder):
+    """Medal-table style tables with sum / count / lookup questions."""
+
+    name = "wiki_table_questions"
+    task_type = TaskType.TABLE_QA
+
+    def __init__(self, seed: int = 0, n_tables: int = 6, nations_per_table: int = 8):
+        super().__init__(seed)
+        self.n_tables = n_tables
+        self.nations_per_table = nations_per_table
+
+    def _make_table(self, index: int) -> Table:
+        schema = Schema(
+            [
+                Attribute("nation", primary_key=True, domain="geography.nation"),
+                Attribute("gold", AttributeType.NUMERIC),
+                Attribute("silver", AttributeType.NUMERIC),
+                Attribute("bronze", AttributeType.NUMERIC),
+                Attribute("total", AttributeType.NUMERIC),
+            ]
+        )
+        table = Table(f"medals_{index}", schema, description="Olympic medal table")
+        for nation in self.sample(_NATIONS, self.nations_per_table):
+            gold = int(self.rng.integers(0, 5))
+            silver = int(self.rng.integers(0, 5))
+            bronze = int(self.rng.integers(0, 5))
+            table.append(
+                {
+                    "nation": nation,
+                    "gold": gold,
+                    "silver": silver,
+                    "bronze": bronze,
+                    "total": gold + silver + bronze,
+                }
+            )
+        return table
+
+    def build(self) -> BenchmarkDataset:
+        knowledge = WorldKnowledge()
+        knowledge.set_relation_template("gold", "{subject} won {value} gold medals")
+        knowledge.set_relation_template("silver", "{subject} won {value} silver medals")
+        knowledge.set_relation_template("bronze", "{subject} won {value} bronze medals")
+        knowledge.set_relation_template("total", "{subject} won {value} medals in total")
+        for medal in ("gold", "silver", "bronze", "total"):
+            knowledge.add_attribute_link("nation", medal, 0.6)
+        knowledge.add_attribute_link("gold", "total", 0.8)
+
+        tables: dict[str, Table] = {}
+        tasks: list[TableQATask] = []
+        ground_truth: list[str] = []
+        for index in range(self.n_tables):
+            table = self._make_table(index)
+            tables[table.name] = table
+            records = table.records
+            # Question 1: total golds of two specific nations.
+            pair = self.sample(records, 2)
+            question = (
+                f"how many gold medals did {pair[0]['nation']} and "
+                f"{pair[1]['nation']} total?"
+            )
+            tasks.append(TableQATask(table, question))
+            ground_truth.append(str(int(pair[0]["gold"]) + int(pair[1]["gold"])))
+            # Question 2: golds of one nation.
+            one = self.choice(records)
+            tasks.append(TableQATask(table, f"how many gold medals did {one['nation']} win?"))
+            ground_truth.append(str(int(one["gold"])))
+
+        return BenchmarkDataset(
+            name=self.name,
+            task_type=self.task_type,
+            tables=tables,
+            knowledge=knowledge,
+            tasks=tasks,
+            ground_truth=ground_truth,
+        )

@@ -1,0 +1,46 @@
+"""Metrics, evaluation harness, ablation driver and report formatting."""
+
+from .ablation import (
+    IMPUTATION_ABLATION_LADDER,
+    TRANSFORMATION_ABLATION_LADDER,
+    AblationVariant,
+    ablation_rows,
+    run_ablation,
+)
+from .harness import EvaluationResult, evaluate, evaluate_many, metric_for
+from .metrics import (
+    ConfusionMatrix,
+    accuracy,
+    confusion,
+    f1_score,
+    mean_text_f1,
+    precision,
+    recall,
+    text_f1,
+    values_match,
+)
+from .reporting import format_markdown_table, format_table, pivot_rows
+
+__all__ = [
+    "AblationVariant",
+    "ConfusionMatrix",
+    "EvaluationResult",
+    "IMPUTATION_ABLATION_LADDER",
+    "TRANSFORMATION_ABLATION_LADDER",
+    "ablation_rows",
+    "accuracy",
+    "confusion",
+    "evaluate",
+    "evaluate_many",
+    "f1_score",
+    "format_markdown_table",
+    "format_table",
+    "mean_text_f1",
+    "metric_for",
+    "pivot_rows",
+    "precision",
+    "recall",
+    "run_ablation",
+    "text_f1",
+    "values_match",
+]

@@ -1,0 +1,141 @@
+"""Ablation driver (Tables 8-10 of the paper).
+
+Runs the UniDM pipeline with components switched off one at a time / in the
+cumulative combinations the paper reports, on the same benchmark, and returns
+one row per variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.config import UniDMConfig
+from ..datasets.base import BenchmarkDataset
+from .harness import EvaluationResult, evaluate
+
+
+@dataclass(frozen=True)
+class AblationVariant:
+    """One row of an ablation table."""
+
+    label: str
+    config: UniDMConfig
+
+    def flags(self) -> dict[str, str]:
+        """Checkmark flags matching the paper's table layout."""
+        mark = lambda on: "yes" if on else ""  # noqa: E731 - tiny formatter
+        return {
+            "instance_retrieval": mark(self.config.use_instance_retrieval),
+            "meta_retrieval": mark(self.config.use_meta_retrieval),
+            "target_prompt": mark(self.config.use_cloze_prompt),
+            "context_parsing": mark(self.config.use_context_parsing),
+        }
+
+
+#: The cumulative component combinations of Tables 8 and 9 (imputation).
+IMPUTATION_ABLATION_LADDER: tuple[AblationVariant, ...] = (
+    AblationVariant("none", UniDMConfig.baseline_prompting()),
+    AblationVariant(
+        "instance retrieval",
+        UniDMConfig(
+            use_instance_retrieval=True,
+            use_meta_retrieval=False,
+            use_cloze_prompt=False,
+            use_context_parsing=False,
+        ),
+    ),
+    AblationVariant(
+        "meta retrieval",
+        UniDMConfig(
+            use_instance_retrieval=False,
+            use_meta_retrieval=True,
+            use_cloze_prompt=False,
+            use_context_parsing=False,
+        ),
+    ),
+    AblationVariant(
+        "instance + meta retrieval",
+        UniDMConfig(
+            use_instance_retrieval=True,
+            use_meta_retrieval=True,
+            use_cloze_prompt=False,
+            use_context_parsing=False,
+        ),
+    ),
+    AblationVariant(
+        "retrieval + target prompt",
+        UniDMConfig(
+            use_instance_retrieval=True,
+            use_meta_retrieval=True,
+            use_cloze_prompt=True,
+            use_context_parsing=False,
+        ),
+    ),
+    AblationVariant("full UniDM", UniDMConfig.full()),
+)
+
+#: The combinations of Table 10 (transformation: only the two prompt-side
+#: components apply, retrieval is not used for this task).
+TRANSFORMATION_ABLATION_LADDER: tuple[AblationVariant, ...] = (
+    AblationVariant("none", UniDMConfig.baseline_prompting()),
+    AblationVariant(
+        "target prompt",
+        UniDMConfig(
+            use_instance_retrieval=False,
+            use_meta_retrieval=False,
+            use_cloze_prompt=True,
+            use_context_parsing=False,
+        ),
+    ),
+    AblationVariant(
+        "context parsing",
+        UniDMConfig(
+            use_instance_retrieval=False,
+            use_meta_retrieval=False,
+            use_cloze_prompt=False,
+            use_context_parsing=True,
+        ),
+    ),
+    AblationVariant(
+        "target prompt + context parsing",
+        UniDMConfig(
+            use_instance_retrieval=False,
+            use_meta_retrieval=False,
+            use_cloze_prompt=True,
+            use_context_parsing=True,
+        ),
+    ),
+)
+
+
+def run_ablation(
+    dataset: BenchmarkDataset,
+    method_factory: Callable[[UniDMConfig], object],
+    variants: Sequence[AblationVariant],
+    max_tasks: int | None = None,
+) -> list[tuple[AblationVariant, EvaluationResult]]:
+    """Evaluate every ablation variant on the benchmark.
+
+    ``method_factory`` builds a fresh method (pipeline + fresh LLM seed) for a
+    given config, so no state leaks between variants.
+    """
+    results = []
+    for variant in variants:
+        method = method_factory(variant.config)
+        results.append((variant, evaluate(method, dataset, max_tasks=max_tasks)))
+    return results
+
+
+def ablation_rows(
+    results: Sequence[tuple[AblationVariant, EvaluationResult]],
+) -> list[dict[str, object]]:
+    """Long-form rows (one per variant) for reporting."""
+    rows = []
+    for variant, result in results:
+        row: dict[str, object] = {"variant": variant.label}
+        row.update(variant.flags())
+        row["score"] = result.score_percent
+        row["metric"] = result.metric_name
+        rows.append(row)
+    return rows

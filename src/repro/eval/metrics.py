@@ -1,0 +1,121 @@
+"""Evaluation metrics: accuracy, precision/recall/F1 and text-overlap F1.
+
+The paper reports accuracy for imputation and transformation (fraction of
+correct repairs), F1 for error detection and entity resolution, precision /
+recall / F1 curves for join discovery, and text F1 for information extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..datalake.text import normalize, tokenize
+
+
+def values_match(prediction: Any, truth: Any) -> bool:
+    """Normalised string equality used by the accuracy metric."""
+    return normalize(prediction) == normalize(truth)
+
+
+def accuracy(predictions: Sequence[Any], ground_truth: Sequence[Any]) -> float:
+    """Fraction of predictions equal to the ground truth (normalised)."""
+    _check_lengths(predictions, ground_truth)
+    if not predictions:
+        return 0.0
+    correct = sum(
+        1 for p, t in zip(predictions, ground_truth) if values_match(p, t)
+    )
+    return correct / len(predictions)
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts (positive class = True)."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.tp / (self.tp + self.fn) if (self.tp + self.fn) else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = self.tp + self.fp + self.fn + self.tn
+        return (self.tp + self.tn) / total if total else 0.0
+
+
+def confusion(predictions: Sequence[bool], ground_truth: Sequence[bool]) -> ConfusionMatrix:
+    _check_lengths(predictions, ground_truth)
+    tp = fp = fn = tn = 0
+    for p, t in zip(predictions, ground_truth):
+        p, t = bool(p), bool(t)
+        if p and t:
+            tp += 1
+        elif p and not t:
+            fp += 1
+        elif not p and t:
+            fn += 1
+        else:
+            tn += 1
+    return ConfusionMatrix(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def precision(predictions: Sequence[bool], ground_truth: Sequence[bool]) -> float:
+    return confusion(predictions, ground_truth).precision
+
+
+def recall(predictions: Sequence[bool], ground_truth: Sequence[bool]) -> float:
+    return confusion(predictions, ground_truth).recall
+
+
+def f1_score(predictions: Sequence[bool], ground_truth: Sequence[bool]) -> float:
+    return confusion(predictions, ground_truth).f1
+
+
+def text_f1(prediction: Any, truth: Any) -> float:
+    """Token-overlap F1 between a predicted string and the reference string."""
+    pred_tokens = tokenize(prediction)
+    true_tokens = tokenize(truth)
+    if not pred_tokens and not true_tokens:
+        return 1.0
+    if not pred_tokens or not true_tokens:
+        return 0.0
+    counts_true: dict[str, int] = {}
+    for token in true_tokens:
+        counts_true[token] = counts_true.get(token, 0) + 1
+    overlap = 0
+    for token in pred_tokens:
+        if counts_true.get(token, 0) > 0:
+            counts_true[token] -= 1
+            overlap += 1
+    if overlap == 0:
+        return 0.0
+    p = overlap / len(pred_tokens)
+    r = overlap / len(true_tokens)
+    return 2 * p * r / (p + r)
+
+
+def mean_text_f1(predictions: Sequence[Any], ground_truth: Sequence[Any]) -> float:
+    """Average per-example text F1 (the SWDE extraction metric)."""
+    _check_lengths(predictions, ground_truth)
+    if not predictions:
+        return 0.0
+    return sum(text_f1(p, t) for p, t in zip(predictions, ground_truth)) / len(predictions)
+
+
+def _check_lengths(a: Sequence[Any], b: Sequence[Any]) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} predictions vs {len(b)} labels")

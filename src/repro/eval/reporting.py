@@ -1,0 +1,81 @@
+"""Formatting helpers: render experiment results as the paper's tables.
+
+Every experiment module produces a list of row dicts; these helpers turn them
+into aligned plain-text tables (printed by the benchmark harness and written
+into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    widths = {
+        c: max(len(c), *(len(fmt(row.get(c, ""))) for row in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(fmt(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    lines = ["| " + " | ".join(columns) + " |", "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def pivot_rows(
+    rows: Sequence[Mapping[str, Any]],
+    index: str,
+    column: str,
+    value: str,
+) -> list[dict[str, Any]]:
+    """Pivot long-form rows (method/dataset/score) into a wide table."""
+    table: dict[Any, dict[str, Any]] = {}
+    column_order: list[Any] = []
+    for row in rows:
+        key = row[index]
+        table.setdefault(key, {index: key})
+        table[key][str(row[column])] = row[value]
+        if row[column] not in column_order:
+            column_order.append(row[column])
+    return list(table.values())

@@ -1,0 +1,57 @@
+"""Experiment modules — one per table / figure of the paper's evaluation.
+
+Each module exposes ``run(seed, max_tasks) -> list[dict]`` (the table rows),
+``PAPER_RESULTS`` (the numbers reported in the paper, for side-by-side
+comparison) and ``main()`` (print the formatted table).  The benchmark harness
+in ``benchmarks/`` calls ``run`` with reduced task counts; the full tables in
+EXPERIMENTS.md come from running ``main()`` unrestricted.
+"""
+
+from . import (
+    figure5_join_discovery,
+    table1_imputation,
+    table2_transformation,
+    table3_error_detection,
+    table4_entity_resolution,
+    table5_finetune,
+    table6_llm_variants,
+    table7_tokens,
+    table8_9_ablation_imputation,
+    table10_ablation_transformation,
+    table11_extraction,
+)
+from .common import UniDMMethod, make_fm, make_llm, make_unidm, result_row
+
+ALL_EXPERIMENTS = {
+    "table1": table1_imputation,
+    "table2": table2_transformation,
+    "table3": table3_error_detection,
+    "table4": table4_entity_resolution,
+    "table5": table5_finetune,
+    "table6": table6_llm_variants,
+    "table7": table7_tokens,
+    "table8_9": table8_9_ablation_imputation,
+    "table10": table10_ablation_transformation,
+    "table11": table11_extraction,
+    "figure5": figure5_join_discovery,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "UniDMMethod",
+    "make_fm",
+    "make_llm",
+    "make_unidm",
+    "result_row",
+    "figure5_join_discovery",
+    "table1_imputation",
+    "table2_transformation",
+    "table3_error_detection",
+    "table4_entity_resolution",
+    "table5_finetune",
+    "table6_llm_variants",
+    "table7_tokens",
+    "table8_9_ablation_imputation",
+    "table10_ablation_transformation",
+    "table11_extraction",
+]

@@ -1,0 +1,94 @@
+"""Shared plumbing for the experiment modules (one per paper table/figure).
+
+Every experiment builds its benchmark dataset(s), instantiates the methods it
+compares (UniDM variants, FM variants, traditional baselines), runs the
+evaluation harness and returns plain row dicts that the reporting helpers
+format as the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.config import UniDMConfig
+from ..core.pipeline import UniDM
+from ..core.tasks.base import Task
+from ..datasets.base import BenchmarkDataset
+from ..llm.base import LanguageModel
+from ..llm.profiles import DEFAULT_MODEL
+from ..llm.simulated import SimulatedLLM
+from ..baselines.fm import FMMethod
+
+
+@dataclass
+class UniDMMethod:
+    """Per-task method wrapper around the UniDM pipeline (for the harness)."""
+
+    llm: LanguageModel
+    config: UniDMConfig
+    name: str = "UniDM"
+
+    def __post_init__(self) -> None:
+        self.pipeline = UniDM(self.llm, self.config)
+
+    def solve(self, task: Task) -> Any:
+        return self.pipeline.run(task).value
+
+    def run(self, task: Task):
+        """Full pipeline result (prompt trace + usage), not just the value."""
+        return self.pipeline.run(task)
+
+
+def make_llm(
+    dataset: BenchmarkDataset,
+    model: str = DEFAULT_MODEL,
+    seed: int = 0,
+) -> SimulatedLLM:
+    """A simulated LLM wired to the dataset's world knowledge."""
+    return SimulatedLLM(profile=model, knowledge=dataset.knowledge, seed=seed)
+
+
+def make_unidm(
+    dataset: BenchmarkDataset,
+    config: UniDMConfig | None = None,
+    model: str = DEFAULT_MODEL,
+    seed: int = 0,
+    name: str = "UniDM",
+) -> UniDMMethod:
+    """UniDM pipeline method over a fresh simulated LLM for this dataset."""
+    return UniDMMethod(
+        llm=make_llm(dataset, model=model, seed=seed),
+        config=config or UniDMConfig.full(seed=seed),
+        name=name,
+    )
+
+
+def make_fm(
+    dataset: BenchmarkDataset,
+    context_mode: str = "manual",
+    model: str = DEFAULT_MODEL,
+    seed: int = 0,
+    name: str | None = None,
+) -> FMMethod:
+    """FM baseline method over a fresh simulated LLM for this dataset."""
+    return FMMethod(
+        llm=make_llm(dataset, model=model, seed=seed),
+        context_mode=context_mode,
+        er_examples=dataset.train_pairs,
+        seed=seed,
+        name=name,
+    )
+
+
+def result_row(result, method: str | None = None, **extra: Any) -> dict[str, Any]:
+    """Flatten an EvaluationResult into a reporting row."""
+    row: dict[str, Any] = {
+        "method": method or result.method,
+        "dataset": result.dataset,
+        "metric": result.metric_name,
+        "score": result.score_percent,
+        "n_tasks": result.n_tasks,
+    }
+    row.update(extra)
+    return row

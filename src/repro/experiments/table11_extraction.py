@@ -1,0 +1,53 @@
+"""Table 11 — information extraction text F1 on the SWDE-style NBA benchmark.
+
+Compares Evaporate-code (single synthesised extraction function),
+Evaporate-code+ (function ensemble) and UniDM.
+"""
+
+from __future__ import annotations
+
+from ..baselines import EvaporateCode, EvaporateCodePlus
+from ..datasets import load_dataset
+from ..eval import evaluate, format_table
+from .common import make_unidm, result_row
+
+PAPER_RESULTS: dict[str, float] = {
+    "Evaporate-code": 40.6,
+    "Evaporate-code+": 84.6,
+    "UniDM": 70.1,
+}
+
+DATASET = "nba_players"
+
+
+def methods_for(dataset, seed: int):
+    return [
+        ("Evaporate-code", EvaporateCode(seed=seed + 3)),
+        ("Evaporate-code+", EvaporateCodePlus(seed=seed + 3)),
+        ("UniDM", make_unidm(dataset, seed=seed + 2)),
+    ]
+
+
+def run(seed: int = 0, max_tasks: int | None = None) -> list[dict]:
+    dataset = load_dataset(DATASET, seed=seed)
+    rows: list[dict] = []
+    for method_name, method in methods_for(dataset, seed):
+        result = evaluate(method, dataset, max_tasks=max_tasks)
+        rows.append(
+            result_row(result, method=method_name, paper=PAPER_RESULTS[method_name])
+        )
+    return rows
+
+
+def main(seed: int = 0, max_tasks: int | None = None) -> str:
+    table = format_table(
+        run(seed=seed, max_tasks=max_tasks),
+        columns=["method", "score", "paper"],
+        title="Table 11 — Information extraction text F1 (%)",
+    )
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

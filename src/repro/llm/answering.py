@@ -1,0 +1,577 @@
+"""Answer synthesis for the simulated LLM.
+
+Given a parsed answer prompt (:class:`~repro.llm.prompt_parser.ParsedAnswer`),
+the engine decides what the model would reply.  The decision combines the same
+ingredients a real LLM combines:
+
+* **context evidence** extracted from the prompt text (demonstration rows,
+  parsed sentences, example transformation pairs);
+* **world knowledge** recalled from the :class:`~repro.llm.knowledge.WorldKnowledge`
+  store with probability scaled by the model's ``knowledge_recall`` and the
+  fact's corpus ``prevalence``;
+* **prompt quality** — fluent (parsed) context is absorbed more reliably than
+  serialized pairs, and a well-formed cloze question reduces task confusion
+  relative to a naive concatenation.  These are the mechanisms the paper's
+  ablations (Tables 8-10) attribute gains to, so they are modelled explicitly
+  rather than hard-coded per experiment.
+
+All stochastic choices are drawn from a generator owned by the calling model,
+so experiments are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datalake.text import normalize, string_similarity, tokenize
+from ..prompting.templates import CLOZE_BLANK
+from ..transforms.search import ProgramSearcher
+from .knowledge import WorldKnowledge
+from .profiles import ModelProfile
+from .prompt_parser import AnswerStyle, ContextFormat, ParsedAnswer, parse_pairs
+
+#: Bonus to answer quality from fluent natural-language context (vs. pairs).
+NATURAL_CONTEXT_BONUS = 0.045
+#: Bonus from serialized context relative to no context at all.
+PAIRS_CONTEXT_BONUS = 0.015
+#: Bonus from a cloze-formulated target prompt (vs. direct concatenation / FM).
+CLOZE_PROMPT_BONUS = 0.035
+#: Extra bonus when the correct value is literally present in the context.
+COPY_FROM_CONTEXT_FLOOR = 0.985
+
+
+@dataclass
+class ContextItem:
+    """One piece of evidence extracted from the prompt context."""
+
+    subject: str
+    attribute: str
+    value: str
+
+
+def _clip01(x: float, lo: float = 0.02, hi: float = 0.99) -> float:
+    return float(min(hi, max(lo, x)))
+
+
+class AnswerEngine:
+    """Produces answer text for parsed answer prompts."""
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        knowledge: WorldKnowledge,
+        rng: np.random.Generator,
+        program_searcher: ProgramSearcher | None = None,
+    ):
+        self.profile = profile
+        self.knowledge = knowledge
+        self.rng = rng
+        self.searcher = program_searcher or ProgramSearcher(max_depth=2)
+
+    # ------------------------------------------------------------------ public
+    def answer(self, parsed: ParsedAnswer) -> str:
+        handlers = {
+            "data imputation": self._answer_imputation,
+            "data transformation": self._answer_transformation,
+            "error detection": self._answer_error_detection,
+            "entity resolution": self._answer_entity_resolution,
+            "table question answering": self._answer_table_qa,
+            "join discovery": self._answer_join_discovery,
+            "information extraction": self._answer_extraction,
+        }
+        handler = handlers.get(parsed.task)
+        if handler is None:
+            return self._answer_generic(parsed)
+        return handler(parsed)
+
+    # --------------------------------------------------------------- bonuses
+    def _prompt_quality(self, parsed: ParsedAnswer) -> float:
+        """Additive quality bonus from context format and prompt style."""
+        bonus = 0.0
+        if parsed.context_format is ContextFormat.NATURAL:
+            bonus += NATURAL_CONTEXT_BONUS
+        elif parsed.context_format is ContextFormat.PAIRS:
+            bonus += PAIRS_CONTEXT_BONUS
+        if parsed.style is AnswerStyle.CLOZE:
+            bonus += CLOZE_PROMPT_BONUS
+        return bonus
+
+    def _context_fidelity(self, parsed: ParsedAnswer) -> float:
+        """Probability of correctly absorbing one context item."""
+        fidelity = self.profile.context_fidelity
+        if parsed.context_format is ContextFormat.PAIRS:
+            fidelity *= 0.97
+        elif parsed.context_format is ContextFormat.NONE:
+            fidelity *= 0.0
+        return fidelity
+
+    # ------------------------------------------------------------ context use
+    def extract_context_items(self, parsed: ParsedAnswer) -> list[ContextItem]:
+        """Pull (subject, attribute, value) evidence out of the context text.
+
+        Natural-language context is matched against the knowledge store's
+        relation templates (the same templates the parsing step used to write
+        the sentences); serialized context is split into pairs per row, with
+        the first pair of a row treated as the row's subject.  Each extracted
+        item survives with probability equal to the model's context fidelity,
+        modelling imperfect reading of long prompts.
+        """
+        items: list[ContextItem] = []
+        text = parsed.context_text
+        if not text.strip():
+            return items
+        fidelity = self._context_fidelity(parsed)
+
+        # Sentence-level extraction through relation templates.
+        for relation in self.knowledge.known_relations:
+            pattern = self.knowledge.relation_regex(relation)
+            for sentence in re.split(r"(?<=[.!?])\s+|\n", text):
+                sentence = sentence.strip().rstrip(".")
+                if not sentence or CLOZE_BLANK in sentence:
+                    continue
+                match = pattern.match(sentence)
+                if match:
+                    items.append(
+                        ContextItem(
+                            subject=match.group("subject").strip(),
+                            attribute=relation,
+                            value=match.group("value").strip(),
+                        )
+                    )
+
+        # Row-level extraction of serialized pairs.
+        for line in text.splitlines():
+            pairs = parse_pairs(line)
+            if len(pairs) < 2:
+                continue
+            subject = pairs[0][1]
+            for attribute, value in pairs[1:]:
+                if CLOZE_BLANK in value:
+                    continue
+                items.append(ContextItem(subject=subject, attribute=attribute, value=value))
+
+        # FM-style demonstration rows: "... What is the city? atlanta"
+        for match in re.finditer(
+            r"^(?P<row>.+?)\s+What is the\s+(?P<attr>[\w %/-]+)\?\s*(?P<ans>\S.*)$",
+            text,
+            re.MULTILINE,
+        ):
+            row_pairs = parse_pairs(match.group("row"))
+            if row_pairs:
+                items.append(
+                    ContextItem(
+                        subject=row_pairs[0][1],
+                        attribute=match.group("attr").strip(),
+                        value=match.group("ans").strip().rstrip("."),
+                    )
+                )
+
+        if fidelity >= 1.0 or not items:
+            return items
+        keep = self.rng.random(len(items)) < fidelity
+        return [item for item, k in zip(items, keep) if k]
+
+    # --------------------------------------------------------------- imputation
+    def _answer_imputation(self, parsed: ParsedAnswer) -> str:
+        entity = parsed.entity or ""
+        attribute = parsed.attribute or ""
+        fact = self.knowledge.lookup(entity, attribute)
+        items = self.extract_context_items(parsed)
+        context_values = [
+            item.value
+            for item in items
+            if normalize(item.attribute) == normalize(attribute)
+        ]
+        quality = self._prompt_quality(parsed)
+
+        if fact is None:
+            # The model has no memory of this entity: it can only echo the most
+            # common context value or admit ignorance.
+            if context_values:
+                return _most_common(context_values)
+            return "unknown"
+
+        true_value = fact.value
+        prevalence = fact.prevalence * self.profile.familiarity(fact.domain)
+        p_recall = self.profile.knowledge_recall * prevalence
+        p_correct = p_recall + quality
+        if context_values:
+            p_correct += 0.02  # any grounding helps a little
+        if any(normalize(v) == normalize(true_value) for v in context_values):
+            # The right value is literally in the prompt: the model mostly just
+            # needs to copy it, limited by how reliably it reads the context.
+            copy_prob = COPY_FROM_CONTEXT_FLOOR * self._context_fidelity(parsed) + quality
+            p_correct = max(p_correct, copy_prob)
+        p_correct = _clip01(p_correct)
+
+        if self.rng.random() < p_correct:
+            return true_value
+        return self._wrong_value(attribute, true_value, context_values)
+
+    def _wrong_value(
+        self, attribute: str, true_value: str, context_values: list[str]
+    ) -> str:
+        """A plausible but wrong answer (a distractor)."""
+        wrong_context = [
+            v for v in context_values if normalize(v) != normalize(true_value)
+        ]
+        if wrong_context:
+            return _most_common(wrong_context)
+        domain = [
+            v
+            for v in sorted(self.knowledge.domain_values(attribute))
+            if normalize(v) != normalize(true_value)
+        ]
+        if domain:
+            return str(domain[int(self.rng.integers(len(domain)))])
+        return "unknown"
+
+    # ----------------------------------------------------------- transformation
+    def _answer_transformation(self, parsed: ParsedAnswer) -> str:
+        source = (parsed.source or "").strip()
+        examples = [
+            (a, b) for a, b in parsed.example_pairs if normalize(a) != normalize(source)
+        ]
+        quality = self._prompt_quality(parsed)
+
+        # Syntactic route: infer the format-rewrite program from the examples.
+        program_output: str | None = None
+        if examples:
+            result = self.searcher.search(examples[:4])
+            if result.program is not None:
+                program_output = result.program(source)
+
+        if program_output is not None:
+            p_correct = _clip01(0.82 * self.profile.capability + 0.10 + quality)
+            if self.rng.random() < p_correct:
+                return program_output
+            return _perturb_string(program_output, self.rng)
+
+        # Semantic route: the mapping is a lookup the model may simply know
+        # (e.g. country -> ISO code); the dataset registers these as facts.
+        fact = self.knowledge.lookup(source, "transformation")
+        if fact is not None:
+            prevalence = fact.prevalence * self.profile.familiarity(fact.domain)
+            p_correct = _clip01(self.profile.knowledge_recall * prevalence + quality)
+            if self.rng.random() < p_correct:
+                return fact.value
+            return _perturb_string(fact.value, self.rng)
+
+        # No program and no knowledge: guess by echoing the source.
+        return source
+
+    # ----------------------------------------------------------- error detection
+    def _answer_error_detection(self, parsed: ParsedAnswer) -> str:
+        attribute = parsed.attribute or ""
+        value = parsed.value or ""
+        quality = self._prompt_quality(parsed)
+
+        validity = self.knowledge.is_valid_value(attribute, value)
+        if validity is True:
+            believes_error = False
+            confidence = 0.99
+        elif validity is False:
+            # The value is not any value the model knows for this attribute.
+            # For attributes with a known domain that is itself strong evidence
+            # of an error; a nearby clean value (a typo's source) makes the
+            # model more certain still.
+            closest = self.knowledge.closest_domain_value(attribute, value)
+            believes_error = True
+            confidence = 0.97 if (closest is not None and closest[1] >= 0.35) else 0.88
+        else:
+            believes_error = _looks_corrupted(value)
+            confidence = 0.65
+
+        # The model contradicts its own belief only rarely; better prompts and
+        # stronger models contradict it even less often.
+        flip_probability = (
+            (1.0 - confidence)
+            * (1.0 - 0.9 * self.profile.capability)
+            * max(0.2, 1.0 - 3.0 * quality)
+        )
+        flip_probability = float(min(0.5, max(0.002, flip_probability)))
+        decision = believes_error
+        if self.rng.random() < flip_probability:
+            decision = not believes_error
+        return "Yes" if decision else "No"
+
+    # --------------------------------------------------------- entity resolution
+    def _answer_entity_resolution(self, parsed: ParsedAnswer) -> str:
+        a = parsed.entity_a or ""
+        b = parsed.entity_b or ""
+        quality = self._prompt_quality(parsed)
+
+        # The LLM's edge over surface matchers: it recognises abbreviations and
+        # synonyms it has seen in pre-training, so equivalent phrasings collapse
+        # before the comparison.  Weaker models recognise them less reliably.
+        if self.rng.random() < self.profile.knowledge_recall:
+            a = self.knowledge.canonicalize(a)
+            b = self.knowledge.canonicalize(b)
+        similarity = self._entity_pair_similarity(a, b)
+
+        domain = self._guess_domain(a + " " + b)
+        familiarity = self.profile.familiarity(domain)
+        noise_scale = self.profile.calibration_noise * (2.0 - familiarity)
+        noise_scale *= 1.0 - 2.0 * quality  # better prompts -> steadier judgement
+        noise = float(self.rng.normal(0.0, max(noise_scale, 0.01)))
+
+        competence = self.profile.competence("entity_resolution")
+        score = similarity + noise + self.profile.yes_bias + competence
+        threshold = self.profile.match_threshold
+        return "Yes" if score >= threshold else "No"
+
+    def _entity_pair_similarity(self, a: str, b: str) -> float:
+        """Similarity of two entity descriptions, attending to the head field.
+
+        Unlike a bag-of-features matcher, a reader weighs the *identifying*
+        field (the first serialized attribute: product title, beer name, song)
+        more heavily than the shared context fields (brewery, artist, price),
+        which is what lets it reject "same brewery, different beer" pairs that
+        fool global string similarity.
+        """
+        pairs_a, pairs_b = parse_pairs(a), parse_pairs(b)
+        if not pairs_a or not pairs_b:
+            return entity_match_score(a, b)
+        head = entity_match_score(pairs_a[0][1], pairs_b[0][1])
+        rest_a = " ".join(value for _, value in pairs_a[1:]) or pairs_a[0][1]
+        rest_b = " ".join(value for _, value in pairs_b[1:]) or pairs_b[0][1]
+        rest = entity_match_score(rest_a, rest_b)
+        return 0.65 * head + 0.35 * rest
+
+    def _guess_domain(self, text: str) -> str:
+        """Infer the semantic domain of an ER pair from registered vocabulary.
+
+        Datasets register representative entity mentions under the pseudo
+        attribute ``"__domain__::<domain>"``; the domain whose vocabulary
+        overlaps the pair the most wins.  An unknown domain maps to "" which
+        means full familiarity.
+        """
+        tokens = set(tokenize(text))
+        best_domain, best_overlap = "", 0
+        for attribute in self.knowledge.domain_attributes():
+            if not attribute.startswith("__domain__::"):
+                continue
+            domain = attribute.split("::", 1)[1]
+            overlap = 0
+            for value in self.knowledge.domain_values(attribute):
+                overlap += len(tokens & set(tokenize(value)))
+            if overlap > best_overlap:
+                best_domain, best_overlap = domain, overlap
+        return best_domain
+
+    # ------------------------------------------------------------------ table QA
+    def _answer_table_qa(self, parsed: ParsedAnswer) -> str:
+        question = parsed.question or parsed.raw_prompt
+        text = parsed.context_text
+        keyword = next(
+            (word for word in ("gold", "silver", "bronze", "total") if word in normalize(question)),
+            None,
+        )
+        numbers = _entity_numbers(text, keyword)
+        mentioned = [
+            value
+            for entity, value in numbers.items()
+            if entity and entity in normalize(question)
+        ]
+        p_correct = _clip01(0.55 + 0.4 * self.profile.capability + self._prompt_quality(parsed))
+        correct = self.rng.random() < p_correct
+
+        lowered = normalize(question)
+        if "total" in lowered or "sum" in lowered or "in total" in lowered:
+            value = sum(mentioned) if mentioned else sum(numbers.values())
+        elif "how many" in lowered and not mentioned:
+            value = len(numbers)
+        elif mentioned:
+            value = mentioned[0]
+        else:
+            value = sum(numbers.values())
+        if not correct:
+            value = value + int(self.rng.integers(1, 3))
+        return _format_number(value)
+
+    # ------------------------------------------------------------- join discovery
+    def _answer_join_discovery(self, parsed: ParsedAnswer) -> str:
+        text = parsed.context_text
+        column_values = re.findall(r'Column "?.+?"? contains (.+?)\.', text)
+        evidence = 0.0
+        if len(column_values) >= 2:
+            left = [v.strip(' "') for v in column_values[0].split(" and ")]
+            right = [v.strip(' "') for v in column_values[1].split(" and ")]
+            hits = 0
+            for lv in left:
+                for rv in right:
+                    if normalize(lv) == normalize(rv) or self.knowledge.are_equivalent(lv, rv):
+                        hits += 1
+                        break
+            evidence = hits / max(len(left), 1)
+        noise = float(self.rng.normal(0.0, self.profile.calibration_noise))
+        score = evidence + noise + self._prompt_quality(parsed)
+        # The evidence is a containment estimate from a handful of sampled
+        # values, so even a genuinely joinable pair rarely exceeds ~0.5; the
+        # decision point sits well below that.
+        return "Yes" if score >= 0.30 else "No"
+
+    # ------------------------------------------------------- information extraction
+    def _answer_extraction(self, parsed: ParsedAnswer) -> str:
+        attribute = normalize(parsed.attribute or "")
+        text = parsed.context_text
+        quality = self._prompt_quality(parsed)
+        candidate = _extract_attribute_from_text(text, attribute, self.knowledge)
+        # Free-form extraction from messy documents is the hardest reading task
+        # the model faces, so the success probability is dominated by model
+        # capability rather than by world knowledge.
+        p_correct = _clip01(0.12 + 0.46 * self.profile.capability + quality)
+        if candidate is not None and self.rng.random() < p_correct:
+            return candidate
+        # Wrong answers are substitutions (another plausible value of the same
+        # attribute) or hallucinated near-misses, not empty strings.
+        domain = sorted(self.knowledge.domain_values(attribute))
+        if domain:
+            wrong = [v for v in domain if normalize(v) != normalize(candidate or "")]
+            if wrong:
+                return str(wrong[int(self.rng.integers(len(wrong)))])
+        if candidate is not None:
+            return _perturb_string(candidate, self.rng)
+        return "unknown"
+
+    # ------------------------------------------------------------------- fallback
+    def _answer_generic(self, parsed: ParsedAnswer) -> str:
+        items = self.extract_context_items(parsed)
+        if items:
+            return items[0].value
+        return "unknown"
+
+
+# ---------------------------------------------------------------------------
+# Small helpers
+# ---------------------------------------------------------------------------
+
+def entity_match_score(a: str, b: str) -> float:
+    """Similarity score used for match-style judgements (ER, dedup).
+
+    Shared by the answer engine and the fine-tuner so that simulated
+    fine-tuning calibrates exactly the decision statistic the model uses at
+    inference time.
+    """
+    return string_similarity(a, b) + 0.5 * _numeric_agreement(a, b)
+
+
+def _most_common(values: list[str]) -> str:
+    counts: dict[str, int] = {}
+    originals: dict[str, str] = {}
+    for value in values:
+        key = normalize(value)
+        counts[key] = counts.get(key, 0) + 1
+        originals.setdefault(key, value)
+    best = max(counts.items(), key=lambda kv: kv[1])[0]
+    return originals[best]
+
+
+def _perturb_string(value: str, rng: np.random.Generator) -> str:
+    """Return a slightly wrong variant of ``value`` (a realistic near miss)."""
+    value = str(value)
+    if not value:
+        return "unknown"
+    if value.isdigit():
+        return str(int(value) + int(rng.integers(1, 9)))
+    index = int(rng.integers(len(value)))
+    replacement = chr(ord("a") + int(rng.integers(26)))
+    return value[:index] + replacement + value[index + 1 :]
+
+
+def _numeric_agreement(a: str, b: str) -> float:
+    """Agreement of the numeric tokens of two entity descriptions, in [-0.2, 0.2]."""
+    nums_a = re.findall(r"\d+\.?\d*", a)
+    nums_b = re.findall(r"\d+\.?\d*", b)
+    if not nums_a or not nums_b:
+        return 0.0
+    shared = len(set(nums_a) & set(nums_b))
+    union = len(set(nums_a) | set(nums_b))
+    return 0.4 * (shared / union) - 0.2
+
+
+def _looks_corrupted(value: str) -> bool:
+    """Heuristics for values that look like typos or encoding damage."""
+    v = str(value)
+    if not v.strip():
+        return True
+    letters = [c for c in v if c.isalpha()]
+    if letters:
+        x_ratio = sum(1 for c in letters if c.lower() in "xqz") / len(letters)
+        if x_ratio >= 0.22:
+            return True
+    if re.search(r"\d", v) and re.search(r"[a-zA-Z]", v) and len(v) < 12:
+        # digits inside a short alphabetic value, e.g. "sheff1eld"
+        if re.search(r"[a-zA-Z]\d[a-zA-Z]", v):
+            return True
+    if re.search(r"(.)\1\1\1", v):
+        return True
+    return False
+
+
+def _entity_numbers(text: str, keyword: str | None = None) -> dict[str, int]:
+    """Map entity mention -> integer stated about it ("X won 2 gold medals").
+
+    When a ``keyword`` (e.g. "gold") is given, only quantities followed by that
+    keyword are collected, so a question about gold medals is not answered from
+    the silver column.
+    """
+    out: dict[str, int] = {}
+    if keyword:
+        pattern = re.compile(
+            r"([A-Z][\w()\s]+?)\s+won\s+(\d+)\s+" + re.escape(keyword), re.IGNORECASE
+        )
+        for match in pattern.finditer(text):
+            out.setdefault(normalize(match.group(1)), int(match.group(2)))
+        if out:
+            return out
+    for match in re.finditer(r"([A-Z][\w()\s]+?)\s+won\s+(\d+)", text):
+        out.setdefault(normalize(match.group(1)), int(match.group(2)))
+    if not out:
+        for match in re.finditer(r"([A-Z][\w()\s]+?)\D(\d+)\b", text):
+            out.setdefault(normalize(match.group(1)), int(match.group(2)))
+    return out
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+_HEIGHT_RE = re.compile(r"\b\d\s*ft\s*\d{1,2}\s*in\b", re.IGNORECASE)
+_PROPER_NOUN_RE = re.compile(r"\b([A-Z][a-z]+(?:\s+[A-Z][a-z]+)+)")
+
+
+def _extract_attribute_from_text(
+    text: str, attribute: str, knowledge: WorldKnowledge
+) -> str | None:
+    """Generic semi-structured extraction used for the SWDE-style task."""
+    # Attribute-specific patterns first.
+    if "height" in attribute:
+        match = _HEIGHT_RE.search(text)
+        return match.group(0) if match else None
+    domain = knowledge.domain_values(attribute)
+    if domain:
+        best, best_score = None, 0.0
+        for value in domain:
+            if value in normalize(text):
+                score = len(value)
+                if score > best_score:
+                    best, best_score = value, score
+        if best is not None:
+            return best
+    if "player" in attribute or "name" in attribute:
+        match = _PROPER_NOUN_RE.search(text)
+        return match.group(1) if match else None
+    # Fall back to "The <attribute> ... is <value>" phrasing in the document.
+    pattern = re.compile(
+        rf"{re.escape(attribute)}\s*(?:is|of|:)\s*([\w .'-]+)", re.IGNORECASE
+    )
+    match = pattern.search(text)
+    if match:
+        return match.group(1).strip().rstrip(".")
+    return None

@@ -1,0 +1,56 @@
+"""A caching wrapper around any language model.
+
+Production pipelines over data lakes re-issue many identical prompts (e.g. the
+same metadata-retrieval prompt for every record of a column); caching them cuts
+cost and makes reruns deterministic.  The wrapper preserves the
+:class:`~repro.llm.base.LanguageModel` interface, so it can be dropped in front
+of the simulated model or a real API client alike.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .base import Completion, LanguageModel
+
+
+class CachedLLM(LanguageModel):
+    """LRU-cached view of an inner language model.
+
+    Cache hits are counted and do **not** add to the inner model's usage, but
+    they do add to this wrapper's usage tracker so experiments can report both
+    "tokens billed" (inner) and "tokens requested" (wrapper).
+    """
+
+    def __init__(self, inner: LanguageModel, max_entries: int = 10_000):
+        super().__init__(tokenizer=inner.tokenizer)
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.inner = inner
+        self.max_entries = max_entries
+        self.name = f"cached({inner.name})"
+        self.hits = 0
+        self.misses = 0
+        self._cache: OrderedDict[str, str] = OrderedDict()
+
+    def _complete_text(self, prompt: str) -> str:
+        if prompt in self._cache:
+            self.hits += 1
+            self._cache.move_to_end(prompt)
+            return self._cache[prompt]
+        self.misses += 1
+        completion: Completion = self.inner.complete(prompt)
+        self._cache[prompt] = completion.text
+        if len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return completion.text
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

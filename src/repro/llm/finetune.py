@@ -1,0 +1,146 @@
+"""Simulated lightweight fine-tuning (Table 5 of the paper).
+
+The paper freezes most pre-trained parameters, adds a small trainable head and
+fine-tunes GPT-J-6B / LLaMA2-7B on the Walmart-Amazon training split, showing
+that a fine-tuned 6-7B model roughly matches the 175B model on entity
+resolution.  Offline we cannot run gradient descent on transformer weights, so
+fine-tuning is simulated by what such a head actually learns for a matching
+task: a *calibrated decision rule* on the model's own similarity statistic,
+plus increased familiarity with the training domain.
+
+Concretely, :class:`FineTuner`:
+
+1. computes :func:`~repro.llm.answering.entity_match_score` on every labelled
+   training pair (the same statistic the answer engine thresholds at inference);
+2. picks the threshold that maximises F1 on the training split;
+3. returns a new :class:`~repro.llm.simulated.SimulatedLLM` whose profile has
+   that threshold, no yes/no bias, reduced calibration noise and full
+   familiarity with the training domain.
+
+This reproduces the Table 5 crossover mechanistically: a raw small model has a
+mis-calibrated, noisy decision rule (very low F1); the fine-tuned model's rule
+is fitted to data, so its F1 approaches the large model's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .answering import entity_match_score
+from .knowledge import WorldKnowledge
+from .profiles import ModelProfile
+from .simulated import SimulatedLLM
+
+
+@dataclass(frozen=True)
+class LabeledPair:
+    """One training example for match-style fine-tuning."""
+
+    left: str
+    right: str
+    label: bool
+
+
+@dataclass
+class FineTuneReport:
+    """What the (simulated) fine-tuning run learned."""
+
+    threshold: float
+    train_f1: float
+    n_examples: int
+    epochs: int
+    domain: str
+
+
+def _f1_at_threshold(scores: np.ndarray, labels: np.ndarray, threshold: float) -> float:
+    predictions = scores >= threshold
+    tp = int(np.sum(predictions & labels))
+    fp = int(np.sum(predictions & ~labels))
+    fn = int(np.sum(~predictions & labels))
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+class FineTuner:
+    """Fits a calibrated matching head for a simulated model."""
+
+    def __init__(
+        self,
+        epochs: int = 30,
+        noise_floor: float = 0.06,
+        competence_boost: float = 0.04,
+    ):
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.epochs = epochs
+        self.noise_floor = noise_floor
+        self.competence_boost = competence_boost
+
+    def fit(
+        self,
+        profile: ModelProfile,
+        pairs: Sequence[LabeledPair],
+        knowledge: WorldKnowledge | None = None,
+        domain: str = "",
+        seed: int = 0,
+    ) -> tuple[SimulatedLLM, FineTuneReport]:
+        """Fine-tune ``profile`` on labelled pairs; returns (model, report)."""
+        if not pairs:
+            raise ValueError("fine-tuning requires at least one labelled pair")
+        scores = np.array([entity_match_score(p.left, p.right) for p in pairs])
+        labels = np.array([bool(p.label) for p in pairs])
+
+        candidate_thresholds = np.unique(
+            np.concatenate([scores, np.linspace(0.05, 0.95, 37)])
+        )
+        f1s = np.array(
+            [_f1_at_threshold(scores, labels, t) for t in candidate_thresholds]
+        )
+        best_index = int(np.argmax(f1s))
+        best_threshold = float(candidate_thresholds[best_index])
+        best_f1 = float(f1s[best_index])
+
+        # The amount of improvement grows with training size, saturating the
+        # way the paper's 6144-tuple split saturates a small head.
+        data_factor = min(1.0, len(pairs) / 2000.0)
+        tuned_noise = max(
+            self.noise_floor,
+            profile.calibration_noise * (1.0 - 0.8 * data_factor),
+        )
+        familiarity = dict(profile.domain_familiarity)
+        if domain:
+            familiarity[domain] = 1.0
+        competence = dict(profile.task_competence)
+        competence["entity_resolution"] = (
+            competence.get("entity_resolution", 0.0)
+            + self.competence_boost * data_factor
+        )
+
+        tuned_profile = profile.with_updates(
+            name=f"{profile.name}-finetuned",
+            display_name=f"{profile.display_name} (fine-tune)",
+            match_threshold=best_threshold,
+            yes_bias=0.0,
+            calibration_noise=tuned_noise,
+            domain_familiarity=familiarity,
+            task_competence=competence,
+        )
+        model = SimulatedLLM(
+            profile=tuned_profile,
+            knowledge=knowledge if knowledge is not None else WorldKnowledge(),
+            seed=seed,
+        )
+        report = FineTuneReport(
+            threshold=best_threshold,
+            train_f1=best_f1,
+            n_examples=len(pairs),
+            epochs=self.epochs,
+            domain=domain,
+        )
+        return model, report

@@ -1,0 +1,37 @@
+"""Canonical prompt templates shared by the UniDM pipeline and the simulated LLM."""
+
+from .templates import (
+    CLOZE_BLANK,
+    CLOZE_CONSTRUCTION,
+    CLOZE_DEMONSTRATIONS,
+    DATA_PARSING,
+    DIRECT_ANSWER,
+    FM_ENTITY_RESOLUTION_QUESTION,
+    FM_ERROR_DETECTION_QUESTION,
+    FM_IMPUTATION_QUESTION,
+    FM_ROW_SEPARATOR,
+    FM_TRANSFORMATION_QUESTION,
+    INSTANCE_RETRIEVAL,
+    META_RETRIEVAL,
+    ClozeDemonstration,
+    PromptTemplate,
+    render_demonstrations,
+)
+
+__all__ = [
+    "CLOZE_BLANK",
+    "CLOZE_CONSTRUCTION",
+    "CLOZE_DEMONSTRATIONS",
+    "ClozeDemonstration",
+    "DATA_PARSING",
+    "DIRECT_ANSWER",
+    "FM_ENTITY_RESOLUTION_QUESTION",
+    "FM_ERROR_DETECTION_QUESTION",
+    "FM_IMPUTATION_QUESTION",
+    "FM_ROW_SEPARATOR",
+    "FM_TRANSFORMATION_QUESTION",
+    "INSTANCE_RETRIEVAL",
+    "META_RETRIEVAL",
+    "PromptTemplate",
+    "render_demonstrations",
+]

@@ -1,0 +1,14 @@
+"""String transformation operators and by-example program search."""
+
+from .operators import OPERATOR_LIBRARY, OPERATORS_BY_NAME, TransformOperator
+from .search import ProgramSearcher, SearchResult, TransformProgram, infer_program
+
+__all__ = [
+    "OPERATOR_LIBRARY",
+    "OPERATORS_BY_NAME",
+    "ProgramSearcher",
+    "SearchResult",
+    "TransformOperator",
+    "TransformProgram",
+    "infer_program",
+]

@@ -1,0 +1,333 @@
+"""A library of string-transformation operators.
+
+This substrate plays two roles in the reproduction:
+
+* it powers the **TDE baseline** (Transform-Data-by-Example, He et al. 2018),
+  which searches this operator library for a program consistent with the given
+  input/output examples; and
+* the **simulated LLM** uses the same library to model an LLM's ability to
+  infer "format A -> format B" mappings from in-context demonstrations, so
+  that data-transformation accuracy emerges from whether the transformation is
+  actually expressible/learnable rather than from a hard-coded number.
+
+Each operator is a small, deterministic, total function on strings that either
+returns the transformed string or ``None`` when it does not apply.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+TransformFn = Callable[[str], Optional[str]]
+
+_MONTHS = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+]
+_MONTH_FULL = [
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+]
+
+_ROMAN = {
+    "I": 1, "II": 2, "III": 3, "IV": 4, "V": 5, "VI": 6, "VII": 7,
+    "VIII": 8, "IX": 9, "X": 10, "XI": 11, "XII": 12, "XIII": 13,
+    "XIV": 14, "XV": 15, "XVI": 16, "XVII": 17, "XVIII": 18, "XIX": 19,
+    "XX": 20,
+}
+
+
+@dataclass(frozen=True)
+class TransformOperator:
+    """A named, parameter-free string transformation."""
+
+    name: str
+    fn: TransformFn
+    description: str = ""
+
+    def __call__(self, value: str) -> Optional[str]:
+        try:
+            return self.fn(str(value))
+        except (ValueError, IndexError, KeyError):
+            return None
+
+
+# -- date formats ------------------------------------------------------------
+
+def _parse_compact_date(value: str) -> Optional[tuple[int, int, int]]:
+    m = re.fullmatch(r"(\d{4})(\d{2})(\d{2})", value.strip())
+    if not m:
+        return None
+    year, month, day = int(m.group(1)), int(m.group(2)), int(m.group(3))
+    if not (1 <= month <= 12 and 1 <= day <= 31):
+        return None
+    return year, month, day
+
+
+def compact_date_to_iso(value: str) -> Optional[str]:
+    parsed = _parse_compact_date(value)
+    if parsed is None:
+        return None
+    y, m, d = parsed
+    return f"{y:04d}-{m:02d}-{d:02d}"
+
+
+def compact_date_to_readable(value: str) -> Optional[str]:
+    parsed = _parse_compact_date(value)
+    if parsed is None:
+        return None
+    y, m, d = parsed
+    return f"{_MONTHS[m - 1]} {d:02d} {y:04d}"
+
+
+def iso_date_to_us(value: str) -> Optional[str]:
+    m = re.fullmatch(r"(\d{4})-(\d{2})-(\d{2})", value.strip())
+    if not m:
+        return None
+    return f"{int(m.group(2)):02d}/{int(m.group(3)):02d}/{m.group(1)}"
+
+
+def us_date_to_iso(value: str) -> Optional[str]:
+    m = re.fullmatch(r"(\d{1,2})/(\d{1,2})/(\d{4})", value.strip())
+    if not m:
+        return None
+    return f"{m.group(3)}-{int(m.group(1)):02d}-{int(m.group(2)):02d}"
+
+
+def iso_date_to_long(value: str) -> Optional[str]:
+    m = re.fullmatch(r"(\d{4})-(\d{2})-(\d{2})", value.strip())
+    if not m:
+        return None
+    month = int(m.group(2))
+    if not 1 <= month <= 12:
+        return None
+    return f"{_MONTH_FULL[month - 1]} {int(m.group(3))}, {m.group(1)}"
+
+
+# -- phone numbers -------------------------------------------------------------
+
+def digits_to_dashed_phone(value: str) -> Optional[str]:
+    digits = re.sub(r"\D", "", value)
+    if len(digits) != 10:
+        return None
+    return f"{digits[0:3]}-{digits[3:6]}-{digits[6:10]}"
+
+
+def digits_to_paren_phone(value: str) -> Optional[str]:
+    digits = re.sub(r"\D", "", value)
+    if len(digits) != 10:
+        return None
+    return f"({digits[0:3]}) {digits[3:6]}-{digits[6:10]}"
+
+
+def phone_strip_to_digits(value: str) -> Optional[str]:
+    digits = re.sub(r"\D", "", value)
+    if len(digits) != 10:
+        return None
+    return digits
+
+
+# -- casing / whitespace -------------------------------------------------------
+
+def to_upper(value: str) -> Optional[str]:
+    return value.upper()
+
+
+def to_lower(value: str) -> Optional[str]:
+    return value.lower()
+
+
+def to_title(value: str) -> Optional[str]:
+    return value.title()
+
+
+def strip_whitespace(value: str) -> Optional[str]:
+    return value.strip()
+
+
+def collapse_spaces(value: str) -> Optional[str]:
+    return re.sub(r"\s+", " ", value).strip()
+
+
+def snake_to_camel(value: str) -> Optional[str]:
+    parts = value.strip().split("_")
+    if len(parts) < 2:
+        return None
+    return parts[0].lower() + "".join(p.title() for p in parts[1:])
+
+
+def camel_to_snake(value: str) -> Optional[str]:
+    if "_" in value or " " in value or value == value.lower():
+        return None
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", value).lower()
+
+
+def spaces_to_underscores(value: str) -> Optional[str]:
+    if " " not in value:
+        return None
+    return value.strip().replace(" ", "_")
+
+
+# -- numbers / units ------------------------------------------------------------
+
+def roman_to_arabic(value: str) -> Optional[str]:
+    key = value.strip().upper()
+    if key not in _ROMAN:
+        return None
+    return str(_ROMAN[key])
+
+
+def arabic_to_roman(value: str) -> Optional[str]:
+    try:
+        number = int(value.strip())
+    except ValueError:
+        return None
+    inverse = {v: k for k, v in _ROMAN.items()}
+    return inverse.get(number)
+
+
+def add_thousands_separator(value: str) -> Optional[str]:
+    m = re.fullmatch(r"\d+", value.strip())
+    if not m:
+        return None
+    return f"{int(value):,}"
+
+
+def strip_thousands_separator(value: str) -> Optional[str]:
+    if "," not in value:
+        return None
+    cleaned = value.replace(",", "").strip()
+    return cleaned if re.fullmatch(r"\d+", cleaned) else None
+
+
+def cents_to_dollars(value: str) -> Optional[str]:
+    m = re.fullmatch(r"\d+", value.strip())
+    if not m:
+        return None
+    return f"${int(value) / 100:.2f}"
+
+
+def number_to_percent(value: str) -> Optional[str]:
+    m = re.fullmatch(r"0?\.\d+", value.strip())
+    if not m:
+        return None
+    return f"{float(value) * 100:.1f}%"
+
+
+# -- addresses / names / web -----------------------------------------------------
+
+def extract_domain(value: str) -> Optional[str]:
+    m = re.search(r"(?:https?://)?(?:www\.)?([A-Za-z0-9.-]+\.[A-Za-z]{2,})", value)
+    if not m:
+        return None
+    return m.group(1).lower()
+
+
+def extract_zipcode(value: str) -> Optional[str]:
+    m = re.search(r"\b(\d{5})(?:-\d{4})?\b", value)
+    if not m:
+        return None
+    return m.group(1)
+
+
+def last_name_first(value: str) -> Optional[str]:
+    parts = value.strip().split()
+    if len(parts) != 2:
+        return None
+    return f"{parts[1]}, {parts[0]}"
+
+
+def first_name_initial(value: str) -> Optional[str]:
+    parts = value.strip().split()
+    if len(parts) != 2:
+        return None
+    return f"{parts[0][0]}. {parts[1]}"
+
+
+def extract_state_abbrev(value: str) -> Optional[str]:
+    m = re.search(r"\b([A-Z]{2})\b(?:\s+\d{5})?$", value.strip())
+    if not m:
+        return None
+    return m.group(1)
+
+
+def ip_to_dotted_padded(value: str) -> Optional[str]:
+    parts = value.strip().split(".")
+    if len(parts) != 4 or not all(p.isdigit() and int(p) <= 255 for p in parts):
+        return None
+    return ".".join(f"{int(p):03d}" for p in parts)
+
+
+def padded_ip_to_plain(value: str) -> Optional[str]:
+    parts = value.strip().split(".")
+    if len(parts) != 4 or not all(p.isdigit() and len(p) == 3 for p in parts):
+        return None
+    return ".".join(str(int(p)) for p in parts)
+
+
+def extract_file_extension(value: str) -> Optional[str]:
+    m = re.search(r"\.([A-Za-z0-9]{1,5})$", value.strip())
+    if not m:
+        return None
+    return m.group(1).lower()
+
+
+def extract_year(value: str) -> Optional[str]:
+    m = re.search(r"\b(19\d{2}|20\d{2})\b", value)
+    if not m:
+        return None
+    return m.group(1)
+
+
+def seconds_to_hms(value: str) -> Optional[str]:
+    m = re.fullmatch(r"\d+", value.strip())
+    if not m:
+        return None
+    total = int(value)
+    return f"{total // 3600:02d}:{(total % 3600) // 60:02d}:{total % 60:02d}"
+
+
+#: The full operator library, in a stable order used by the program search.
+OPERATOR_LIBRARY: tuple[TransformOperator, ...] = tuple(
+    TransformOperator(name=fn.__name__, fn=fn, description=(fn.__doc__ or "").strip())
+    for fn in (
+        compact_date_to_iso,
+        compact_date_to_readable,
+        iso_date_to_us,
+        us_date_to_iso,
+        iso_date_to_long,
+        digits_to_dashed_phone,
+        digits_to_paren_phone,
+        phone_strip_to_digits,
+        to_upper,
+        to_lower,
+        to_title,
+        strip_whitespace,
+        collapse_spaces,
+        snake_to_camel,
+        camel_to_snake,
+        spaces_to_underscores,
+        roman_to_arabic,
+        arabic_to_roman,
+        add_thousands_separator,
+        strip_thousands_separator,
+        cents_to_dollars,
+        number_to_percent,
+        extract_domain,
+        extract_zipcode,
+        last_name_first,
+        first_name_initial,
+        extract_state_abbrev,
+        ip_to_dotted_padded,
+        padded_ip_to_plain,
+        extract_file_extension,
+        extract_year,
+        seconds_to_hms,
+    )
+)
+
+OPERATORS_BY_NAME: dict[str, TransformOperator] = {
+    op.name: op for op in OPERATOR_LIBRARY
+}

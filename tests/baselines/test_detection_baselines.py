@@ -1,0 +1,25 @@
+"""Unit tests for the error-detection baselines."""
+
+from repro.baselines import HoloCleanDetector, HoloDetectDetector
+from repro.eval import evaluate
+
+
+def test_holoclean_detector_flags_rare_values(hospital_dataset):
+    predictions = HoloCleanDetector(seed=0).predict_dataset(hospital_dataset)
+    assert len(predictions) == len(hospital_dataset.tasks)
+    assert any(predictions)
+    # Recall is high: injected typos are unique values.
+    result = evaluate(HoloCleanDetector(seed=0), hospital_dataset)
+    assert result.extras["recall"] >= 0.8
+
+
+def test_holodetect_better_than_holoclean(hospital_dataset):
+    holoclean = evaluate(HoloCleanDetector(seed=0), hospital_dataset)
+    holodetect = evaluate(HoloDetectDetector(seed=0), hospital_dataset)
+    assert holodetect.score >= holoclean.score
+    assert holodetect.score >= 0.6
+
+
+def test_holodetect_predictions_are_booleans(hospital_dataset):
+    predictions = HoloDetectDetector(seed=0).predict_dataset(hospital_dataset)
+    assert set(map(type, predictions)) <= {bool}

@@ -1,0 +1,54 @@
+"""Unit tests for the entity-resolution baselines (Magellan, Ditto)."""
+
+import pytest
+
+from repro.baselines import DittoMatcher, MagellanMatcher
+from repro.eval import evaluate
+from repro.llm import LabeledPair
+
+
+def test_ditto_requires_training_data():
+    with pytest.raises(ValueError):
+        DittoMatcher().fit([])
+    with pytest.raises(RuntimeError):
+        DittoMatcher().predict_pair("a", "b")
+
+
+def test_ditto_learns_a_sensible_rule(walmart_dataset):
+    matcher = DittoMatcher(seed=0).fit(walmart_dataset.train_pairs)
+    positive = walmart_dataset.train_pairs[[p.label for p in walmart_dataset.train_pairs].index(True)]
+    assert matcher.predict_pair(positive.left, positive.left) is True
+    assert matcher.predict_pair("title: sony mouse", "title: completely different fridge 900") is False
+
+
+def test_ditto_and_magellan_scores_on_benchmark(walmart_dataset):
+    ditto = evaluate(DittoMatcher(seed=0), walmart_dataset)
+    magellan = evaluate(MagellanMatcher(seed=0), walmart_dataset)
+    assert ditto.score >= magellan.score
+    assert ditto.score > 0.6
+
+
+def test_magellan_threshold_fit():
+    pairs = [
+        LabeledPair("title: alpha beta gamma", "title: alpha beta gamma", True),
+        LabeledPair("title: alpha beta gamma", "title: delta epsilon zeta", False),
+    ] * 10
+    matcher = MagellanMatcher(seed=0).fit(pairs)
+    assert matcher.threshold is not None
+    assert 0.0 <= matcher.threshold <= 1.0
+
+
+def test_er_baselines_require_train_split(beer_dataset):
+    stripped = type(beer_dataset)(
+        name=beer_dataset.name,
+        task_type=beer_dataset.task_type,
+        tables=beer_dataset.tables,
+        knowledge=beer_dataset.knowledge,
+        tasks=list(beer_dataset.tasks),
+        ground_truth=list(beer_dataset.ground_truth),
+        train_pairs=[],
+    )
+    with pytest.raises(ValueError):
+        DittoMatcher().predict_dataset(stripped)
+    with pytest.raises(ValueError):
+        MagellanMatcher().predict_dataset(stripped)

@@ -1,0 +1,77 @@
+"""Unit tests for the FM prompting baseline."""
+
+import pytest
+
+from repro.baselines import FMMethod
+from repro.core import (
+    EntityResolutionTask,
+    ErrorDetectionTask,
+    ImputationTask,
+    TableQATask,
+    TransformationTask,
+)
+from repro.llm import EchoLLM, SimulatedLLM
+
+
+def test_fm_invalid_mode(city_llm):
+    with pytest.raises(ValueError):
+        FMMethod(city_llm, context_mode="curated")
+
+
+def test_fm_imputation_prompt_structure(city_table, city_knowledge):
+    llm = EchoLLM(reply="Central European Time")
+    fm = FMMethod(llm, context_mode="random", n_demonstrations=2, seed=0)
+    task = ImputationTask(city_table, city_table[5], "timezone")
+    answer = fm.solve(task)
+    assert answer == "Central European Time"
+    prompt = llm.prompts[-1]
+    assert prompt.count("What is the timezone?") == 3  # 2 demos + 1 query
+    assert prompt.rstrip().endswith("What is the timezone?")
+    # Demonstrations carry their answers inline.
+    assert "Central European Time" in prompt or "Greenwich" in prompt
+
+
+def test_fm_manual_mode_prefers_similar_records(city_table, city_knowledge):
+    llm = SimulatedLLM(knowledge=city_knowledge, seed=0)
+    fm = FMMethod(llm, context_mode="manual", n_demonstrations=2, seed=0)
+    task = ImputationTask(city_table, city_table[5], "timezone")
+    assert isinstance(fm.solve(task), str)
+
+
+def test_fm_error_detection_and_er_and_transformation(city_table, city_llm):
+    fm = FMMethod(city_llm, context_mode="manual", seed=0)
+    error_task = ErrorDetectionTask(city_table, city_table[0], "country")
+    assert fm.solve(error_task) in (True, False)
+    er_task = EntityResolutionTask(city_table[0], city_table[1])
+    assert fm.solve(er_task) in (True, False)
+    transform_task = TransformationTask("19990415", [("20000101", "2000-01-01")])
+    assert isinstance(fm.solve(transform_task), str)
+
+
+def test_fm_rejects_unsupported_tasks(city_table, city_llm):
+    fm = FMMethod(city_llm)
+    with pytest.raises(TypeError):
+        fm.solve(TableQATask(city_table, "a question?"))
+
+
+def test_fm_uses_er_examples_as_demonstrations(city_table):
+    from repro.llm import LabeledPair
+
+    llm = EchoLLM(reply="No")
+    fm = FMMethod(
+        llm,
+        context_mode="manual",
+        er_examples=[LabeledPair("a: 1", "a: 2", False), LabeledPair("b: 1", "b: 1", True)],
+        n_demonstrations=2,
+    )
+    fm.solve(EntityResolutionTask(city_table[0], city_table[1]))
+    prompt = llm.prompts[-1]
+    assert prompt.count("Are Entity A and Entity B the same?") == 3
+
+
+def test_fm_token_usage_is_modest(city_table, city_knowledge):
+    llm = SimulatedLLM(knowledge=city_knowledge, seed=0)
+    fm = FMMethod(llm, context_mode="manual", n_demonstrations=3, seed=0)
+    fm.solve(ImputationTask(city_table, city_table[5], "timezone"))
+    assert llm.usage.calls == 1
+    assert llm.usage.total_tokens < 600

@@ -1,0 +1,66 @@
+"""Unit tests for the TDE, WarpGate and Evaporate baselines."""
+
+from repro.baselines import (
+    EvaporateCode,
+    EvaporateCodePlus,
+    TDETransformer,
+    WarpGateJoinDiscovery,
+)
+from repro.core import TransformationTask
+from repro.eval import evaluate
+
+
+def test_tde_solves_syntactic_cases_only(stackoverflow_dataset):
+    tde = TDETransformer(seed=0)
+    predictions = tde.predict_dataset(stackoverflow_dataset)
+    cases = stackoverflow_dataset.extra["cases"]
+    for case, prediction, truth in zip(cases, predictions, stackoverflow_dataset.ground_truth):
+        if case.kind == "semantic":
+            assert prediction != truth  # search cannot learn lookup mappings
+    result = evaluate(tde, stackoverflow_dataset)
+    syntactic_fraction = sum(c.kind == "syntactic" for c in cases) / len(cases)
+    assert abs(result.score - syntactic_fraction) < 0.25
+
+
+def test_tde_single_task_interface():
+    tde = TDETransformer()
+    task = TransformationTask("20000101", [("20210315", "2021-03-15")])
+    assert tde.transform(task) == "2000-01-01"
+    unknown = TransformationTask("germany", [("france", "FRA")])
+    assert tde.transform(unknown) == ""
+
+
+def test_warpgate_scores_overlap_joins_high(nextiajd_dataset):
+    warpgate = WarpGateJoinDiscovery(seed=0)
+    scores = warpgate.score_dataset(nextiajd_dataset)
+    assert len(scores) == len(nextiajd_dataset.tasks)
+    pairs = nextiajd_dataset.extra["pairs"]
+    overlap = [s for s, p in zip(scores, pairs) if p.kind == "overlap"]
+    negative = [s for s, p in zip(scores, pairs) if p.kind == "negative"]
+    if overlap and negative:
+        assert max(overlap) > min(negative)
+    predictions = warpgate.predict_dataset(nextiajd_dataset)
+    assert len(predictions) == len(scores)
+
+
+def test_warpgate_misses_semantic_joins(nextiajd_dataset):
+    warpgate = WarpGateJoinDiscovery(seed=0)
+    scores = warpgate.score_dataset(nextiajd_dataset)
+    pairs = nextiajd_dataset.extra["pairs"]
+    semantic = [s for s, p in zip(scores, pairs) if p.kind == "semantic"]
+    overlap = [s for s, p in zip(scores, pairs) if p.kind == "overlap"]
+    if semantic and overlap:
+        assert sum(semantic) / len(semantic) < sum(overlap) / len(overlap)
+
+
+def test_evaporate_code_plus_beats_code(nba_dataset):
+    code = evaluate(EvaporateCode(seed=0), nba_dataset)
+    code_plus = evaluate(EvaporateCodePlus(seed=0), nba_dataset)
+    assert code_plus.score >= code.score
+    assert code_plus.score > 0.4
+
+
+def test_evaporate_outputs_align_with_tasks(nba_dataset):
+    predictions = EvaporateCode(seed=0).predict_dataset(nba_dataset)
+    assert len(predictions) == len(nba_dataset.tasks)
+    assert all(isinstance(p, str) for p in predictions)

@@ -1,0 +1,117 @@
+"""Shared fixtures: a small cities table, its world knowledge, and cached datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalake import Attribute, AttributeType, Schema, Table
+from repro.datasets import load_dataset
+from repro.llm import SimulatedLLM, WorldKnowledge
+
+CITY_ROWS = [
+    {"city": "Florence", "country": "Italy", "population": 382000, "timezone": "Central European Time"},
+    {"city": "Alicante", "country": "Spain", "population": 337482, "timezone": "Central European Time"},
+    {"city": "Antwerp", "country": "Belgium", "population": 530000, "timezone": "Central European Time"},
+    {"city": "London", "country": "United Kingdom", "population": 8900000, "timezone": "Greenwich Mean Time"},
+    {"city": "Helsinki", "country": "Finland", "population": 656000, "timezone": "Eastern European Time"},
+    {"city": "Copenhagen", "country": "Denmark", "population": 809314, "timezone": None},
+]
+
+
+def build_city_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("city", primary_key=True, domain="geography.city"),
+            Attribute("country", domain="geography.country"),
+            Attribute("population", AttributeType.NUMERIC),
+            Attribute("timezone", AttributeType.CATEGORICAL, domain="geography.timezone"),
+        ]
+    )
+
+
+def build_city_table() -> Table:
+    return Table("cities", build_city_schema(), [dict(row) for row in CITY_ROWS])
+
+
+def build_city_knowledge() -> WorldKnowledge:
+    knowledge = WorldKnowledge()
+    knowledge.set_relation_template("country", "{subject} is a city in the country {value}")
+    knowledge.set_relation_template("timezone", "{subject} is in the timezone {value}")
+    knowledge.add_attribute_link("country", "timezone", 0.9)
+    knowledge.add_attribute_link("population", "timezone", 0.1)
+    for row in CITY_ROWS:
+        knowledge.add_fact(row["city"], "country", row["country"], 0.95, "geography")
+        if row["timezone"]:
+            knowledge.add_fact(row["city"], "timezone", row["timezone"], 0.9, "geography")
+        knowledge.add_domain_value("country", row["country"])
+        if row["timezone"]:
+            knowledge.add_domain_value("timezone", row["timezone"])
+    knowledge.add_fact("Copenhagen", "timezone", "Central European Time", 0.9, "geography")
+    return knowledge
+
+
+@pytest.fixture
+def city_table() -> Table:
+    return build_city_table()
+
+
+@pytest.fixture
+def city_schema() -> Schema:
+    return build_city_schema()
+
+
+@pytest.fixture
+def city_knowledge() -> WorldKnowledge:
+    return build_city_knowledge()
+
+
+@pytest.fixture
+def city_llm(city_knowledge) -> SimulatedLLM:
+    return SimulatedLLM(knowledge=city_knowledge, seed=7)
+
+
+# -- cached benchmark datasets (built once per test session) ---------------------
+
+@pytest.fixture(scope="session")
+def restaurant_dataset():
+    return load_dataset("restaurant", seed=0, n_records=80, n_tasks=20)
+
+
+@pytest.fixture(scope="session")
+def buy_dataset():
+    return load_dataset("buy", seed=0, n_records=60, n_tasks=15)
+
+
+@pytest.fixture(scope="session")
+def hospital_dataset():
+    return load_dataset("hospital", seed=0, n_records=50)
+
+
+@pytest.fixture(scope="session")
+def stackoverflow_dataset():
+    return load_dataset("stackoverflow", seed=0, n_cases=40)
+
+
+@pytest.fixture(scope="session")
+def beer_dataset():
+    return load_dataset("beer", seed=0, n_entities=40, n_pairs=60, n_train_pairs=60)
+
+
+@pytest.fixture(scope="session")
+def walmart_dataset():
+    return load_dataset("walmart_amazon", seed=0, n_entities=40, n_pairs=60, n_train_pairs=120)
+
+
+@pytest.fixture(scope="session")
+def nextiajd_dataset():
+    return load_dataset("nextiajd", seed=0, n_pairs=20)
+
+
+@pytest.fixture(scope="session")
+def nba_dataset():
+    return load_dataset("nba_players", seed=0, n_documents=20)
+
+
+@pytest.fixture(scope="session")
+def tableqa_dataset():
+    return load_dataset("wiki_table_questions", seed=0, n_tables=3)

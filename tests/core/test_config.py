@@ -1,0 +1,46 @@
+"""Unit tests for UniDMConfig."""
+
+import pytest
+
+from repro.core import UniDMConfig
+
+
+def test_default_config_matches_paper_setting():
+    config = UniDMConfig()
+    assert config.use_meta_retrieval and config.use_instance_retrieval
+    assert config.use_context_parsing and config.use_cloze_prompt
+    assert config.n_meta_attributes == 1
+    assert config.top_k_instances == 3
+    assert config.candidate_sample_size == 50
+
+
+def test_named_variants():
+    assert not UniDMConfig.random_context().use_meta_retrieval
+    assert not UniDMConfig.random_context().use_instance_retrieval
+    assert UniDMConfig.random_context().use_cloze_prompt
+    baseline = UniDMConfig.baseline_prompting()
+    assert not any(
+        [
+            baseline.use_meta_retrieval,
+            baseline.use_instance_retrieval,
+            baseline.use_context_parsing,
+            baseline.use_cloze_prompt,
+        ]
+    )
+    assert UniDMConfig.no_retrieval() == UniDMConfig.random_context()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        UniDMConfig(n_meta_attributes=-1)
+    with pytest.raises(ValueError):
+        UniDMConfig(top_k_instances=-2)
+    with pytest.raises(ValueError):
+        UniDMConfig(candidate_sample_size=2, top_k_instances=5)
+
+
+def test_with_updates_and_describe():
+    config = UniDMConfig.full().with_updates(top_k_instances=5)
+    assert config.top_k_instances == 5
+    assert "instance" in UniDMConfig.full().describe()
+    assert UniDMConfig.baseline_prompting().describe() == "-/-/-/-"

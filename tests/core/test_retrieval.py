@@ -1,0 +1,76 @@
+"""Unit tests for automatic context retrieval."""
+
+import numpy as np
+
+from repro.core import ImputationTask, UniDMConfig
+from repro.core.retrieval import ContextRetriever
+from repro.core.types import PromptTrace
+from repro.llm import EchoLLM
+
+
+def make_task(city_table):
+    return ImputationTask(city_table, city_table[5], "timezone")
+
+
+def test_retrieval_selects_llm_suggested_attribute(city_table, city_llm):
+    config = UniDMConfig.full(candidate_sample_size=5, top_k_instances=2)
+    retriever = ContextRetriever(city_llm, config)
+    trace = PromptTrace()
+    context = retriever.retrieve(make_task(city_table), np.random.default_rng(0), trace)
+    assert not context.is_empty
+    assert context.selected_by_llm == ["country"]
+    # context attributes: pk + helpful + target
+    assert context.attributes[0] == "city"
+    assert "timezone" in context.attributes
+    assert len(context.records) <= 2
+    assert trace.meta_retrieval is not None
+    assert trace.instance_retrieval is not None
+
+
+def test_retrieval_excludes_target_record(city_table, city_llm):
+    config = UniDMConfig.full(candidate_sample_size=10, top_k_instances=5)
+    retriever = ContextRetriever(city_llm, config)
+    context = retriever.retrieve(make_task(city_table), np.random.default_rng(0))
+    target_id = city_table[5].record_id
+    assert all(record.record_id != target_id for record in context.records)
+
+
+def test_random_variants_do_not_call_llm(city_table):
+    llm = EchoLLM(reply="")
+    config = UniDMConfig.random_context(candidate_sample_size=5, top_k_instances=2)
+    retriever = ContextRetriever(llm, config)
+    context = retriever.retrieve(make_task(city_table), np.random.default_rng(0))
+    assert llm.usage.calls == 0
+    assert len(context.records) == 2
+    assert len(context.selected_by_llm) == 0 or context.selected_by_llm
+
+
+def test_llm_garbage_reply_falls_back_to_random(city_table):
+    llm = EchoLLM(reply="this mentions no attribute at all")
+    config = UniDMConfig.full(candidate_sample_size=5, top_k_instances=2)
+    retriever = ContextRetriever(llm, config)
+    context = retriever.retrieve(make_task(city_table), np.random.default_rng(0))
+    # One attribute is still chosen (randomly) despite the useless reply.
+    assert len(context.selected_by_llm) == 1
+
+
+def test_zero_topk_returns_no_records(city_table, city_llm):
+    config = UniDMConfig.full(candidate_sample_size=5, top_k_instances=0)
+    retriever = ContextRetriever(city_llm, config)
+    context = retriever.retrieve(make_task(city_table), np.random.default_rng(0))
+    assert context.records == []
+
+
+def test_score_parser_handles_malformed_lines():
+    scores = ContextRetriever._parse_scores("1: 3\nbogus line\n2) 1\n99: 2", 3)
+    assert scores == [3.0, 1.0, 0.0]
+
+
+def test_no_table_task_yields_empty_context(city_llm):
+    from repro.core import TransformationTask
+
+    retriever = ContextRetriever(city_llm, UniDMConfig.full())
+    context = retriever.retrieve(
+        TransformationTask("a", [("x", "y")]), np.random.default_rng(0)
+    )
+    assert context.is_empty

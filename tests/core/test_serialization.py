@@ -1,0 +1,44 @@
+"""Unit tests for the serialize() helpers."""
+
+from repro.core import (
+    numbered_instances,
+    record_pairs,
+    serialize_record,
+    serialize_records,
+    serialize_rows,
+)
+
+
+def test_record_pairs_put_primary_key_first(city_table):
+    pairs = record_pairs(city_table[0], ["country", "city"])
+    assert pairs[0][0] == "city"
+
+
+def test_record_pairs_skip_missing_by_default(city_table):
+    copenhagen = city_table[5]
+    names = [attr for attr, _ in record_pairs(copenhagen)]
+    assert "timezone" not in names
+    with_missing = record_pairs(copenhagen, include_missing=True)
+    assert ("timezone", "?") in with_missing
+
+
+def test_serialize_record_format(city_table):
+    text = serialize_record(city_table[0], ["city", "country"])
+    assert text == "city: Florence, country: Italy"
+
+
+def test_serialize_records_one_line_per_record(city_table):
+    text = serialize_records(city_table.records[:3], ["city", "country"])
+    assert len(text.splitlines()) == 3
+
+
+def test_serialize_rows():
+    rows = [[("a", "1"), ("b", "2")], [], [("c", "3")]]
+    text = serialize_rows(rows)
+    assert text.splitlines() == ["a: 1, b: 2", "c: 3"]
+
+
+def test_numbered_instances_start_at_one(city_table):
+    text = numbered_instances(city_table.records[:2], ["city"])
+    assert text.splitlines()[0].startswith("1) ")
+    assert text.splitlines()[1].startswith("2) ")

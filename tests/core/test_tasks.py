@@ -1,0 +1,116 @@
+"""Unit tests for the task adapters."""
+
+import pytest
+
+from repro.core import (
+    EntityResolutionTask,
+    ErrorDetectionTask,
+    ImputationTask,
+    InformationExtractionTask,
+    JoinDiscoveryTask,
+    TableQATask,
+    TaskType,
+    TransformationTask,
+)
+from repro.core.tasks import parse_yes_no, restrict_attributes
+from repro.core.tasks.information_extraction import strip_markup
+
+
+def test_parse_yes_no():
+    assert parse_yes_no("Yes")
+    assert parse_yes_no("yes, they are the same")
+    assert not parse_yes_no("No")
+    assert not parse_yes_no("maybe")
+
+
+def test_restrict_attributes_case_insensitive_dedup():
+    assert restrict_attributes(["Country", "country", "bogus"], ["country", "city"]) == ["country"]
+
+
+def test_imputation_task_query_and_candidates(city_table):
+    task = ImputationTask(city_table, city_table[5], "timezone")
+    assert task.task_type is TaskType.DATA_IMPUTATION
+    assert task.query() == "Copenhagen, timezone"
+    assert task.entity_key() == "Copenhagen"
+    assert "timezone" not in task.candidate_attributes()
+    assert "city" not in task.candidate_attributes()  # the primary key is excluded
+    assert task.parse_answer("Central European Time\n") == "Central European Time"
+    assert task.needs_retrieval
+
+
+def test_imputation_task_unknown_attribute(city_table):
+    with pytest.raises(KeyError):
+        ImputationTask(city_table, city_table[0], "mayor")
+
+
+def test_transformation_task_context_rows():
+    task = TransformationTask("19990415", [("20000101", "2000-01-01")])
+    assert not task.needs_retrieval
+    assert task.query() == "19990415:?"
+    rows = task.context_rows()
+    assert rows[0][0] == ("data before transformation", "20000101")
+    assert rows[0][1] == ("data after transformation", "2000-01-01")
+    with pytest.raises(ValueError):
+        TransformationTask("x", [])
+
+
+def test_error_detection_task(city_table):
+    task = ErrorDetectionTask(city_table, city_table[0], "country")
+    assert task.query() == "country: Italy?"
+    assert task.parse_answer("Yes") is True
+    assert task.parse_answer("No") is False
+    with pytest.raises(KeyError):
+        ErrorDetectionTask(city_table, city_table[0], "nope")
+
+
+def test_entity_resolution_task(city_table):
+    task = EntityResolutionTask(city_table[0], city_table[1], attributes=["city", "country"])
+    assert "Entity A is" in task.query() and "Entity B is" in task.query()
+    assert not task.needs_retrieval  # no backing table supplied
+    with_table = EntityResolutionTask(city_table[0], city_table[1], table=city_table)
+    assert with_table.needs_retrieval
+    assert task.parse_answer("No") is False
+
+
+def test_table_qa_task(city_table):
+    task = TableQATask(city_table, "which city is in Denmark?")
+    assert task.candidate_attributes() == city_table.schema.names
+    assert len(task.target_records()) == len(city_table)
+    with pytest.raises(ValueError):
+        TableQATask(city_table, "   ")
+
+
+def test_join_discovery_task_context(nextiajd_dataset):
+    task = nextiajd_dataset.tasks[0]
+    assert isinstance(task, JoinDiscoveryTask)
+    assert "VERSUS" in task.query()
+    rows = task.context_rows()
+    assert rows, "join task should supply context rows"
+    contains_rows = [row for row in rows if row[0][0] == "column"]
+    assert len(contains_rows) == 2
+    assert not task.needs_retrieval
+
+
+def test_join_discovery_unknown_column(city_table):
+    with pytest.raises(KeyError):
+        JoinDiscoveryTask(city_table, "nope", city_table, "city")
+
+
+def test_information_extraction_task():
+    doc = "<h1>Kevin Durant</h1><p>Height: 6 ft 10 in</p>"
+    task = InformationExtractionTask(doc, "height")
+    assert task.query() == "height"
+    assert "<h1>" not in task.context_text()
+    assert "Kevin Durant" in task.context_text()
+    with pytest.raises(ValueError):
+        InformationExtractionTask(doc, "  ")
+
+
+def test_strip_markup_collapses_whitespace():
+    assert strip_markup("<p>a</p>\n\n<p>b</p>") == "a b"
+
+
+def test_task_descriptions_mention_task_names(city_table):
+    task = ImputationTask(city_table, city_table[5], "timezone")
+    assert "data imputation" in task.description
+    assert task.short_name == "data imputation"

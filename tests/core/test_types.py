@@ -1,0 +1,42 @@
+"""Unit tests for the core result / trace types."""
+
+from repro.core.types import TASK_DESCRIPTIONS, ManipulationResult, PromptTrace, TaskType
+from repro.llm.base import UsageDelta
+
+
+def test_every_task_type_has_a_description():
+    for task_type in TaskType:
+        assert task_type in TASK_DESCRIPTIONS
+        assert task_type.value.split()[0] in TASK_DESCRIPTIONS[task_type]
+
+
+def test_binary_task_flag():
+    assert TaskType.ERROR_DETECTION.is_binary
+    assert TaskType.ENTITY_RESOLUTION.is_binary
+    assert TaskType.JOIN_DISCOVERY.is_binary
+    assert not TaskType.DATA_IMPUTATION.is_binary
+
+
+def test_prompt_trace_as_dict_keys():
+    trace = PromptTrace(meta_retrieval="p", answer="a")
+    payload = trace.as_dict()
+    assert payload["p_rm"] == "p"
+    assert payload["answer"] == "a"
+    assert set(payload) == {
+        "p_rm", "p_rm_output", "p_ri", "p_ri_output", "p_dp", "p_dp_output",
+        "p_cq", "p_as", "answer",
+    }
+
+
+def test_manipulation_result_token_total():
+    result = ManipulationResult(
+        task_type=TaskType.DATA_IMPUTATION,
+        raw_answer="x",
+        value="x",
+        query="q",
+        usage=UsageDelta(calls=2, prompt_tokens=10, completion_tokens=5),
+    )
+    assert result.total_tokens == 15
+    assert ManipulationResult(
+        task_type=TaskType.DATA_IMPUTATION, raw_answer="x", value="x", query="q"
+    ).total_tokens == 0

@@ -1,0 +1,125 @@
+"""Unit tests for Record and Table."""
+
+import pytest
+
+from repro.datalake import Record, Schema, Table, is_missing
+
+
+def test_is_missing_values():
+    assert is_missing(None)
+    assert is_missing("")
+    assert is_missing("?")
+    assert is_missing("NaN")
+    assert is_missing(float("nan"))
+    assert not is_missing("value")
+    assert not is_missing(0)
+
+
+def test_record_from_mapping(city_schema):
+    record = Record(city_schema, {"city": "Oslo", "country": "Norway"})
+    assert record["city"] == "Oslo"
+    assert record["population"] is None
+    assert record.get("unknown", "x") == "x"
+
+
+def test_record_from_sequence_length_check(city_schema):
+    with pytest.raises(ValueError):
+        Record(city_schema, ["only", "three", "values"])
+
+
+def test_record_unknown_attribute_rejected(city_schema):
+    with pytest.raises(KeyError):
+        Record(city_schema, {"nope": 1})
+
+
+def test_record_setitem_and_missing_attributes(city_schema):
+    record = Record(city_schema, {"city": "Oslo"})
+    record["country"] = "Norway"
+    assert record["country"] == "Norway"
+    assert "population" in record.missing_attributes()
+    assert "country" not in record.missing_attributes()
+
+
+def test_record_project_and_copy(city_schema):
+    record = Record(city_schema, {"city": "Oslo", "country": "Norway"}, record_id=3)
+    projected = record.project(["country"])
+    assert projected.to_dict() == {"country": "Norway"}
+    clone = record.copy()
+    clone["city"] = "Bergen"
+    assert record["city"] == "Oslo"
+    assert clone.record_id == 3
+
+
+def test_record_with_value_returns_new_record(city_schema):
+    record = Record(city_schema, {"city": "Oslo"})
+    updated = record.with_value("country", "Norway")
+    assert updated["country"] == "Norway"
+    assert record["country"] is None
+
+
+def test_record_equality(city_schema):
+    a = Record(city_schema, {"city": "Oslo"})
+    b = Record(city_schema, {"city": "Oslo"})
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_table_append_assigns_record_ids(city_table):
+    ids = [record.record_id for record in city_table]
+    assert ids == list(range(len(city_table)))
+
+
+def test_table_column_and_distinct(city_table):
+    countries = city_table.column("country")
+    assert "Italy" in countries
+    distinct = city_table.distinct("timezone")
+    assert "Central European Time" in distinct
+    assert None not in distinct  # missing dropped
+
+
+def test_table_select_and_project(city_table):
+    cet = city_table.select(lambda r: r["timezone"] == "Central European Time")
+    assert len(cet) == 3
+    projected = city_table.project(["city", "country"])
+    assert projected.schema.names == ["city", "country"]
+    assert len(projected) == len(city_table)
+
+
+def test_table_head_and_copy_are_independent(city_table):
+    head = city_table.head(2)
+    assert len(head) == 2
+    clone = city_table.copy()
+    clone[0]["city"] = "CHANGED"
+    assert city_table[0]["city"] != "CHANGED"
+
+
+def test_table_missing_count(city_table):
+    assert city_table.missing_count("timezone") == 1
+    assert city_table.missing_count() >= 1
+
+
+def test_table_value_counts_and_mode(city_table):
+    counts = city_table.value_counts("timezone")
+    assert counts["Central European Time"] == 3
+    assert city_table.mode("timezone") == "Central European Time"
+    assert Table("empty", city_table.schema).mode("timezone") is None
+
+
+def test_table_from_dicts_infers_schema():
+    rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+    table = Table.from_dicts("t", rows)
+    assert table.schema.names == ["a", "b"]
+    assert table.schema["a"].type.is_numeric()
+    assert not table.schema["b"].type.is_numeric()
+
+
+def test_table_append_coerces_foreign_record(city_table, city_schema):
+    other_schema = Schema(list(city_schema.attributes))
+    record = Record(other_schema, {"city": "Oslo", "country": "Norway"})
+    appended = city_table.append(record)
+    assert appended["city"] == "Oslo"
+
+
+def test_table_requires_name(city_schema):
+    with pytest.raises(ValueError):
+        Table("", city_schema)

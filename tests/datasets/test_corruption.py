@@ -1,0 +1,46 @@
+"""Unit tests for error injection."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import corrupt_value, inject_errors
+from repro.datasets.corruption import (
+    delete_char,
+    duplicate_char,
+    substitute_char,
+    transpose_chars,
+)
+
+
+def test_individual_corruptions_change_value():
+    rng = np.random.default_rng(0)
+    assert substitute_char("birmingham", rng) != "birmingham"
+    assert "x" in substitute_char("birmingham", rng)
+    assert len(delete_char("birmingham", rng)) == len("birmingham") - 1
+    assert sorted(transpose_chars("ab", rng)) == ["a", "b"]
+    assert len(duplicate_char("abc", rng)) > 3
+
+
+def test_corrupt_value_always_differs():
+    rng = np.random.default_rng(1)
+    for value in ["a", "ab", "birmingham", "1234"]:
+        assert corrupt_value(value, rng) != value
+
+
+def test_inject_errors_rate_and_ground_truth(city_table):
+    rng = np.random.default_rng(0)
+    errors = inject_errors(city_table, ["country"], 0.5, rng)
+    assert len(errors) == 3  # 50% of 6 non-missing country cells
+    for error in errors:
+        record = city_table.records[error.record_index]
+        assert record["country"] == error.dirty_value
+        assert error.dirty_value != error.clean_value
+
+
+def test_inject_errors_zero_rate(city_table):
+    assert inject_errors(city_table, ["country"], 0.0, np.random.default_rng(0)) == []
+
+
+def test_inject_errors_invalid_rate(city_table):
+    with pytest.raises(ValueError):
+        inject_errors(city_table, ["country"], 1.5, np.random.default_rng(0))

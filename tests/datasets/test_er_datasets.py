@@ -1,0 +1,58 @@
+"""Unit tests for the entity resolution benchmarks."""
+
+import pytest
+
+from repro.core import EntityResolutionTask, TaskType
+from repro.datasets import load_dataset
+from repro.llm.answering import entity_match_score
+
+
+def test_beer_structure(beer_dataset):
+    assert beer_dataset.task_type is TaskType.ENTITY_RESOLUTION
+    assert all(isinstance(t, EntityResolutionTask) for t in beer_dataset.tasks)
+    assert len(beer_dataset.tables) == 2
+    assert beer_dataset.train_pairs, "training split expected"
+    labels = beer_dataset.ground_truth
+    assert 0.2 < sum(labels) / len(labels) < 0.6
+
+
+def test_positives_more_similar_than_negatives(beer_dataset):
+    pos, neg = [], []
+    for task, label in zip(beer_dataset.tasks, beer_dataset.ground_truth):
+        score = entity_match_score(task.describe_a(), task.describe_b())
+        (pos if label else neg).append(score)
+    assert sum(pos) / len(pos) > sum(neg) / len(neg)
+
+
+def test_walmart_has_large_training_split(walmart_dataset):
+    assert len(walmart_dataset.train_pairs) >= 100
+    labels = [p.label for p in walmart_dataset.train_pairs]
+    assert any(labels) and not all(labels)
+
+
+@pytest.mark.parametrize("name", ["amazon_google", "itunes_amazon"])
+def test_other_er_datasets_build(name):
+    dataset = load_dataset(name, seed=0, n_entities=30, n_pairs=40, n_train_pairs=40)
+    assert len(dataset) == 40
+    assert len(dataset.tables) == 2
+
+
+def test_amazon_google_is_harder_than_beer():
+    beer = load_dataset("beer", seed=0, n_entities=40, n_pairs=80, n_train_pairs=40)
+    ag = load_dataset("amazon_google", seed=0, n_entities=40, n_pairs=80, n_train_pairs=40)
+
+    def separation(dataset):
+        pos, neg = [], []
+        for task, label in zip(dataset.tasks, dataset.ground_truth):
+            score = entity_match_score(
+                dataset.knowledge.canonicalize(task.describe_a()),
+                dataset.knowledge.canonicalize(task.describe_b()),
+            )
+            (pos if label else neg).append(score)
+        return sum(pos) / len(pos) - sum(neg) / len(neg)
+
+    assert separation(ag) < separation(beer)
+
+
+def test_er_knowledge_registers_abbreviations(beer_dataset):
+    assert beer_dataset.knowledge.are_equivalent("india pale ale", "ipa")

@@ -1,0 +1,54 @@
+"""Unit tests for the Hospital and Adult error-detection benchmarks."""
+
+from repro.core import ErrorDetectionTask, TaskType
+from repro.datasets import load_dataset
+
+
+def test_hospital_structure(hospital_dataset):
+    assert hospital_dataset.task_type is TaskType.ERROR_DETECTION
+    assert all(isinstance(t, ErrorDetectionTask) for t in hospital_dataset.tasks)
+    checked = hospital_dataset.extra["checked_attributes"]
+    assert set(t.attribute for t in hospital_dataset.tasks) == set(checked)
+
+
+def test_hospital_error_rate_close_to_five_percent(hospital_dataset):
+    labels = hospital_dataset.ground_truth
+    rate = sum(labels) / len(labels)
+    assert 0.02 <= rate <= 0.08
+
+
+def test_hospital_ground_truth_matches_injections(hospital_dataset):
+    errors = hospital_dataset.extra["errors"]
+    assert len(errors) == sum(hospital_dataset.ground_truth)
+    # Every injected error corresponds to a task labelled True with the dirty value.
+    dirty_cells = {(e.record_index, e.attribute): e for e in errors}
+    for task, label in zip(hospital_dataset.tasks, hospital_dataset.ground_truth):
+        key = (task.record.record_id, task.attribute)
+        if label:
+            assert key in dirty_cells
+            assert str(task.value) == dirty_cells[key].dirty_value
+
+
+def test_hospital_domains_registered_from_clean_values(hospital_dataset):
+    knowledge = hospital_dataset.knowledge
+    for task, label in zip(hospital_dataset.tasks, hospital_dataset.ground_truth):
+        validity = knowledge.is_valid_value(task.attribute, task.value)
+        if label:
+            assert validity is False
+        # clean cells are valid except when the same clean value also got
+        # corrupted elsewhere (cannot happen: domains were captured pre-injection)
+        else:
+            assert validity is True
+
+
+def test_adult_contains_rare_but_legitimate_categories():
+    dataset = load_dataset("adult", seed=0, n_records=200)
+    occupations = dataset.table.value_counts("occupation")
+    dirty_values = {e.dirty_value for e in dataset.extra["errors"]}
+    rare = [
+        v for v, count in occupations.items() if count <= 2 and v not in dirty_values
+    ]
+    assert rare, "adult benchmark should contain rare legitimate categories"
+    # Rare categories are still valid domain values for the detector.
+    for value in rare:
+        assert dataset.knowledge.is_valid_value("occupation", value) is True

@@ -1,0 +1,55 @@
+"""Unit tests for the TableQA, join discovery and extraction benchmarks."""
+
+from repro.core import (
+    InformationExtractionTask,
+    JoinDiscoveryTask,
+    TableQATask,
+    TaskType,
+)
+
+
+def test_tableqa_dataset(tableqa_dataset):
+    assert tableqa_dataset.task_type is TaskType.TABLE_QA
+    assert all(isinstance(t, TableQATask) for t in tableqa_dataset.tasks)
+    # Ground truth answers are consistent with the generated tables.
+    for task, answer in zip(tableqa_dataset.tasks, tableqa_dataset.ground_truth):
+        assert answer.isdigit()
+        if "total" in task.question:
+            nations = [r["nation"] for r in task.table() if str(r["nation"]) in task.question]
+            golds = [int(r["gold"]) for r in task.table() if str(r["nation"]) in task.question]
+            assert sum(golds) == int(answer)
+            assert len(nations) == 2
+
+
+def test_nextiajd_dataset(nextiajd_dataset):
+    assert nextiajd_dataset.task_type is TaskType.JOIN_DISCOVERY
+    assert all(isinstance(t, JoinDiscoveryTask) for t in nextiajd_dataset.tasks)
+    labels = nextiajd_dataset.ground_truth
+    assert any(labels) and not all(labels)
+    pairs = nextiajd_dataset.extra["pairs"]
+    kinds = {p.kind for p in pairs}
+    assert "semantic" in kinds and "negative" in kinds
+    # Semantic joins rely on equivalences registered in the knowledge store.
+    assert nextiajd_dataset.knowledge.are_equivalent("germany", "DEU")
+
+
+def test_nextiajd_tables_exist_for_every_pair(nextiajd_dataset):
+    for task in nextiajd_dataset.tasks:
+        assert task.column_a in task.table_a.schema
+        assert task.column_b in task.table_b.schema
+
+
+def test_nba_players_dataset(nba_dataset):
+    assert nba_dataset.task_type is TaskType.INFORMATION_EXTRACTION
+    assert all(isinstance(t, InformationExtractionTask) for t in nba_dataset.tasks)
+    attributes = set(nba_dataset.extra["attributes"])
+    assert attributes == {"player", "height", "position", "college"}
+    documents = nba_dataset.extra["documents"]
+    # Every ground-truth value actually appears in its document.
+    for doc in documents[:10]:
+        for attribute, value in doc.values.items():
+            assert value in doc.document
+    # Several distinct templates are used.
+    assert len({d.template_index for d in documents}) >= 2
+    # Domain values for closed attributes are registered for the extractors.
+    assert nba_dataset.knowledge.domain_values("position")

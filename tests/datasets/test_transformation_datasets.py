@@ -1,0 +1,63 @@
+"""Unit tests for the transformation benchmarks."""
+
+from repro.core import TaskType, TransformationTask
+from repro.datasets import BingQueryLogsDataset, StackOverflowDataset
+from repro.transforms import ProgramSearcher
+
+
+def test_stackoverflow_structure(stackoverflow_dataset):
+    assert stackoverflow_dataset.task_type is TaskType.DATA_TRANSFORMATION
+    assert all(isinstance(t, TransformationTask) for t in stackoverflow_dataset.tasks)
+    cases = stackoverflow_dataset.extra["cases"]
+    kinds = {c.kind for c in cases}
+    assert kinds == {"syntactic", "semantic", "hard"}
+
+
+def test_case_examples_are_consistent_with_ground_truth(stackoverflow_dataset):
+    searcher = ProgramSearcher()
+    cases = stackoverflow_dataset.extra["cases"]
+    syntactic = [c for c in cases if c.kind == "syntactic"]
+    assert syntactic
+    for case in syntactic[:10]:
+        program = searcher.search(case.examples).program
+        assert program is not None, case.scenario
+        assert program(case.source) == case.target
+
+
+def test_hard_cases_not_solvable_by_search(stackoverflow_dataset):
+    searcher = ProgramSearcher()
+    hard = [c for c in stackoverflow_dataset.extra["cases"] if c.kind == "hard"]
+    solved = 0
+    for case in hard:
+        program = searcher.search(case.examples).program
+        if program is not None and program(case.source) == case.target:
+            solved += 1
+    assert solved <= len(hard) * 0.3
+
+
+def test_semantic_cases_registered_in_knowledge(stackoverflow_dataset):
+    knowledge = stackoverflow_dataset.knowledge
+    semantic = [c for c in stackoverflow_dataset.extra["cases"] if c.kind == "semantic"]
+    for case in semantic[:10]:
+        fact = knowledge.lookup(case.source, "transformation")
+        assert fact is not None
+        assert fact.value == case.target
+
+
+def test_bing_mix_is_harder_than_stackoverflow():
+    so = StackOverflowDataset(seed=0, n_cases=50).build()
+    bing = BingQueryLogsDataset(seed=0, n_cases=50).build()
+
+    def syntactic_fraction(ds):
+        cases = ds.extra["cases"]
+        return sum(c.kind == "syntactic" for c in cases) / len(cases)
+
+    assert syntactic_fraction(bing) < syntactic_fraction(so)
+
+
+def test_values_stay_single_token(stackoverflow_dataset):
+    # The benchmark keeps sources and targets free of commas so every method
+    # reads the same demonstrations from its prompt format.
+    for case in stackoverflow_dataset.extra["cases"]:
+        assert "," not in case.source
+        assert "," not in case.target

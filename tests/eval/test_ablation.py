@@ -1,0 +1,44 @@
+"""Unit tests for the ablation driver."""
+
+from repro.core import UniDMConfig
+from repro.eval import (
+    IMPUTATION_ABLATION_LADDER,
+    TRANSFORMATION_ABLATION_LADDER,
+    ablation_rows,
+    run_ablation,
+)
+from repro.experiments.common import make_unidm
+
+
+def test_ladders_match_paper_row_counts():
+    assert len(IMPUTATION_ABLATION_LADDER) == 6
+    assert len(TRANSFORMATION_ABLATION_LADDER) == 4
+    # First row has everything off, last row is the full pipeline.
+    first, last = IMPUTATION_ABLATION_LADDER[0], IMPUTATION_ABLATION_LADDER[-1]
+    assert first.config == UniDMConfig.baseline_prompting()
+    assert last.config == UniDMConfig.full()
+
+
+def test_variant_flags_render_checkmarks():
+    flags = IMPUTATION_ABLATION_LADDER[-1].flags()
+    assert flags == {
+        "instance_retrieval": "yes",
+        "meta_retrieval": "yes",
+        "target_prompt": "yes",
+        "context_parsing": "yes",
+    }
+    assert IMPUTATION_ABLATION_LADDER[0].flags()["target_prompt"] == ""
+
+
+def test_run_ablation_produces_one_row_per_variant(restaurant_dataset):
+    ladder = IMPUTATION_ABLATION_LADDER[:2]
+    results = run_ablation(
+        restaurant_dataset,
+        method_factory=lambda config: make_unidm(restaurant_dataset, config, seed=0),
+        variants=ladder,
+        max_tasks=4,
+    )
+    rows = ablation_rows(results)
+    assert len(rows) == 2
+    assert {"variant", "score", "metric"} <= set(rows[0])
+    assert all(0 <= row["score"] <= 100 for row in rows)

@@ -1,0 +1,106 @@
+"""Unit tests for the evaluation harness and reporting helpers."""
+
+import pytest
+
+from repro.core.types import TaskType
+from repro.eval import evaluate, evaluate_many, format_markdown_table, format_table, metric_for, pivot_rows
+from repro.eval.harness import EvaluationResult
+
+
+class OracleMethod:
+    """Per-task method that answers from the dataset's ground truth."""
+
+    name = "oracle"
+
+    def __init__(self, dataset):
+        self.mapping = {id(task): truth for task, truth in zip(dataset.tasks, dataset.ground_truth)}
+
+    def solve(self, task):
+        return self.mapping[id(task)]
+
+
+class ConstantDatasetMethod:
+    name = "constant"
+
+    def __init__(self, value):
+        self.value = value
+
+    def predict_dataset(self, dataset):
+        return [self.value] * len(dataset.tasks)
+
+
+class BrokenDatasetMethod:
+    name = "broken"
+
+    def predict_dataset(self, dataset):
+        return ["x"]
+
+
+def test_metric_selection_per_task_type():
+    assert metric_for(TaskType.DATA_IMPUTATION)[0] == "accuracy"
+    assert metric_for(TaskType.ERROR_DETECTION)[0] == "f1"
+    assert metric_for(TaskType.ENTITY_RESOLUTION)[0] == "f1"
+    assert metric_for(TaskType.INFORMATION_EXTRACTION)[0] == "text_f1"
+
+
+def test_evaluate_oracle_scores_one(restaurant_dataset):
+    result = evaluate(OracleMethod(restaurant_dataset), restaurant_dataset)
+    assert result.score == 1.0
+    assert result.metric_name == "accuracy"
+    assert result.n_tasks == len(restaurant_dataset)
+    assert result.tokens_per_query == 0
+
+
+def test_evaluate_max_tasks_subsets(restaurant_dataset):
+    result = evaluate(OracleMethod(restaurant_dataset), restaurant_dataset, max_tasks=5)
+    assert result.n_tasks == 5
+
+
+def test_evaluate_dataset_level_method(hospital_dataset):
+    result = evaluate(ConstantDatasetMethod(True), hospital_dataset)
+    assert result.metric_name == "f1"
+    assert result.extras["recall"] == 1.0
+    assert result.extras["precision"] < 0.2
+
+
+def test_evaluate_rejects_misaligned_predictions(hospital_dataset):
+    with pytest.raises(ValueError):
+        evaluate(BrokenDatasetMethod(), hospital_dataset)
+
+
+def test_evaluate_many(restaurant_dataset):
+    results = evaluate_many(
+        [OracleMethod(restaurant_dataset), ConstantDatasetMethod("nowhere")],
+        restaurant_dataset,
+        max_tasks=5,
+    )
+    assert [r.method for r in results] == ["oracle", "constant"]
+    assert results[0].score >= results[1].score
+
+
+def test_result_summary_and_percent(restaurant_dataset):
+    result = evaluate(OracleMethod(restaurant_dataset), restaurant_dataset, max_tasks=3)
+    assert result.score_percent == 100.0
+    assert "oracle" in result.summary()
+
+
+def test_format_table_and_markdown_and_pivot():
+    rows = [
+        {"method": "A", "dataset": "d1", "score": 1.234},
+        {"method": "B", "dataset": "d1", "score": 2.0},
+    ]
+    text = format_table(rows, title="demo")
+    assert "demo" in text and "1.2" in text
+    markdown = format_markdown_table(rows)
+    assert markdown.startswith("| method")
+    assert format_table([]) == "(no rows)"
+    pivoted = pivot_rows(rows, index="dataset", column="method", value="score")
+    assert pivoted[0]["A"] == 1.234 and pivoted[0]["B"] == 2.0
+
+
+def test_evaluation_result_tokens_per_query_zero_tasks():
+    result = EvaluationResult(
+        method="m", dataset="d", task_type=TaskType.DATA_IMPUTATION,
+        metric_name="accuracy", score=0.0, n_tasks=0,
+    )
+    assert result.tokens_per_query == 0.0

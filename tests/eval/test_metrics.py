@@ -1,0 +1,55 @@
+"""Unit tests for the evaluation metrics."""
+
+import pytest
+
+from repro.eval import (
+    accuracy,
+    confusion,
+    f1_score,
+    mean_text_f1,
+    precision,
+    recall,
+    text_f1,
+    values_match,
+)
+
+
+def test_values_match_normalises():
+    assert values_match(" Beverly Hills ", "beverly hills")
+    assert not values_match("los angeles", "beverly hills")
+
+
+def test_accuracy_basics():
+    assert accuracy(["a", "b"], ["a", "c"]) == 0.5
+    assert accuracy([], []) == 0.0
+    with pytest.raises(ValueError):
+        accuracy(["a"], [])
+
+
+def test_confusion_counts_and_derived_metrics():
+    matrix = confusion([True, True, False, False], [True, False, True, False])
+    assert (matrix.tp, matrix.fp, matrix.fn, matrix.tn) == (1, 1, 1, 1)
+    assert matrix.precision == 0.5
+    assert matrix.recall == 0.5
+    assert matrix.f1 == 0.5
+    assert matrix.accuracy == 0.5
+
+
+def test_f1_degenerate_cases():
+    assert f1_score([False, False], [True, True]) == 0.0
+    assert f1_score([True, True], [True, True]) == 1.0
+    assert precision([False], [False]) == 0.0
+    assert recall([False], [True]) == 0.0
+
+
+def test_text_f1_token_overlap():
+    assert text_f1("Kevin Durant", "Kevin Durant") == 1.0
+    assert text_f1("Kevin", "Kevin Durant") == pytest.approx(2 / 3)
+    assert text_f1("", "") == 1.0
+    assert text_f1("", "x") == 0.0
+    assert text_f1("completely different", "another phrase") == 0.0
+
+
+def test_mean_text_f1():
+    score = mean_text_f1(["Kevin Durant", "wrong"], ["Kevin Durant", "right"])
+    assert score == pytest.approx(0.5)

@@ -1,0 +1,31 @@
+"""Unit tests for the experiment plumbing helpers."""
+
+from repro.core import UniDMConfig
+from repro.experiments.common import make_fm, make_llm, make_unidm, result_row
+from repro.eval import evaluate
+
+
+def test_make_llm_shares_dataset_knowledge(restaurant_dataset):
+    llm = make_llm(restaurant_dataset, seed=3)
+    assert llm.knowledge is restaurant_dataset.knowledge
+    assert llm.name == "gpt-3-175b"
+    assert make_llm(restaurant_dataset, model="qwen-7b").name == "qwen-7b"
+
+
+def test_make_unidm_and_fm_have_usable_interfaces(restaurant_dataset):
+    unidm = make_unidm(restaurant_dataset, UniDMConfig.random_context(), seed=1, name="variant")
+    assert unidm.name == "variant"
+    value = unidm.solve(restaurant_dataset.tasks[0])
+    assert isinstance(value, str)
+    fm = make_fm(restaurant_dataset, "random", seed=1)
+    assert fm.name == "FM (random)"
+    assert isinstance(fm.solve(restaurant_dataset.tasks[0]), str)
+
+
+def test_result_row_flattens_evaluation(restaurant_dataset):
+    result = evaluate(make_unidm(restaurant_dataset, seed=1), restaurant_dataset, max_tasks=3)
+    row = result_row(result, method="renamed", paper=93.0)
+    assert row["method"] == "renamed"
+    assert row["paper"] == 93.0
+    assert 0 <= row["score"] <= 100
+    assert row["n_tasks"] == 3

@@ -1,0 +1,61 @@
+"""End-to-end integration tests: the pipeline beats baselines on real benchmarks.
+
+These run on reduced benchmark sizes so the whole suite stays fast, but they
+exercise the complete stack — dataset generation, retrieval prompts, parsing,
+cloze construction, simulated answering and metric computation.
+"""
+
+from repro.core import UniDMConfig
+from repro.eval import evaluate
+from repro.experiments.common import make_fm, make_unidm
+
+
+def test_unidm_beats_random_context_on_restaurant(restaurant_dataset):
+    full = evaluate(make_unidm(restaurant_dataset, seed=2), restaurant_dataset)
+    random_ctx = evaluate(
+        make_unidm(
+            restaurant_dataset, UniDMConfig.baseline_prompting(seed=2), seed=2,
+            name="UniDM (all off)",
+        ),
+        restaurant_dataset,
+    )
+    assert full.score >= random_ctx.score
+    assert full.score >= 0.75
+
+
+def test_unidm_competitive_with_fm_on_imputation(restaurant_dataset):
+    unidm = evaluate(make_unidm(restaurant_dataset, seed=2), restaurant_dataset)
+    fm = evaluate(make_fm(restaurant_dataset, "random", seed=1), restaurant_dataset)
+    assert unidm.score >= fm.score - 0.05
+
+
+def test_unidm_error_detection_f1_is_high(hospital_dataset):
+    result = evaluate(make_unidm(hospital_dataset, seed=2), hospital_dataset, max_tasks=60)
+    assert result.metric_name == "f1"
+    assert result.score >= 0.7
+
+
+def test_unidm_solves_transformation_benchmarks(stackoverflow_dataset):
+    result = evaluate(make_unidm(stackoverflow_dataset, seed=2), stackoverflow_dataset)
+    assert result.score >= 0.5
+
+
+def test_unidm_entity_resolution_reasonable(beer_dataset):
+    result = evaluate(make_unidm(beer_dataset, seed=2), beer_dataset, max_tasks=40)
+    assert result.score >= 0.6
+
+
+def test_model_capability_affects_accuracy(restaurant_dataset):
+    strong = evaluate(
+        make_unidm(restaurant_dataset, model="gpt-4-turbo", seed=2), restaurant_dataset
+    )
+    weak = evaluate(
+        make_unidm(restaurant_dataset, model="gpt-j-6b", seed=2), restaurant_dataset
+    )
+    assert strong.score > weak.score
+
+
+def test_results_reproducible_for_fixed_seed(buy_dataset):
+    first = evaluate(make_unidm(buy_dataset, seed=5), buy_dataset, max_tasks=8)
+    second = evaluate(make_unidm(buy_dataset, seed=5), buy_dataset, max_tasks=8)
+    assert first.predictions == second.predictions

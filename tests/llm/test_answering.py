@@ -1,0 +1,184 @@
+"""Unit tests for the answer engine."""
+
+import numpy as np
+import pytest
+
+from repro.llm.answering import (
+    AnswerEngine,
+    entity_match_score,
+    _looks_corrupted,
+    _perturb_string,
+)
+from repro.llm.profiles import get_profile
+from repro.llm.prompt_parser import parse_answer
+
+
+@pytest.fixture
+def engine(city_knowledge):
+    return AnswerEngine(get_profile("gpt-3-175b"), city_knowledge, np.random.default_rng(0))
+
+
+def answer_distribution(engine, prompt, n=60):
+    parsed = parse_answer(prompt)
+    answers = [engine.answer(parsed) for _ in range(n)]
+    return answers
+
+
+def test_imputation_uses_knowledge(engine):
+    prompt = "The timezone of Copenhagen is __."
+    answers = answer_distribution(engine, prompt)
+    correct = sum(a == "Central European Time" for a in answers)
+    assert correct > len(answers) * 0.6
+
+
+def test_imputation_copies_value_present_in_context(engine):
+    prompt = (
+        "Copenhagen is a city in the country Denmark. "
+        "Copenhagen is in the timezone Central European Time. "
+        "The timezone of Copenhagen is __."
+    )
+    answers = answer_distribution(engine, prompt)
+    assert sum(a == "Central European Time" for a in answers) > len(answers) * 0.85
+
+
+def test_imputation_unknown_entity_falls_back_to_context(engine):
+    prompt = (
+        "Florence is in the timezone Central European Time. "
+        "The timezone of Atlantis is __."
+    )
+    parsed = parse_answer(prompt)
+    answer = engine.answer(parsed)
+    assert answer in ("Central European Time", "unknown")
+
+
+def test_context_extraction_reads_natural_and_pairs(engine):
+    parsed = parse_answer(
+        "Florence is a city in the country Italy. "
+        "city: Alicante, country: Spain, timezone: Central European Time. "
+        "The timezone of Copenhagen is __."
+    )
+    items = engine.extract_context_items(parsed)
+    subjects = {item.subject for item in items}
+    assert "Florence" in subjects or "Alicante" in subjects
+
+
+def test_error_detection_clean_and_corrupted(engine):
+    clean = parse_answer(
+        'It is required to identify if there is an error in the country "Italy". '
+        "Is there an error in the country? Yes or No."
+    )
+    corrupted = parse_answer(
+        'It is required to identify if there is an error in the country "Itxly". '
+        "Is there an error in the country? Yes or No."
+    )
+    clean_answers = [engine.answer(clean) for _ in range(40)]
+    corrupted_answers = [engine.answer(corrupted) for _ in range(40)]
+    assert clean_answers.count("No") > 35
+    assert corrupted_answers.count("Yes") > 35
+
+
+def test_entity_resolution_matches_and_rejects(engine):
+    same = parse_answer(
+        "Entity A is title: sony bravia lcd tv x100, price: 499.0, whereas "
+        "Entity B is title: sony bravia lcd tv x100 black, price: 498.0. "
+        "Are these two entities the same? Yes or No."
+    )
+    different = parse_answer(
+        "Entity A is title: sony bravia lcd tv x100, price: 499.0, whereas "
+        "Entity B is title: canon pixma printer z9, price: 89.0. "
+        "Are these two entities the same? Yes or No."
+    )
+    same_answers = [engine.answer(same) for _ in range(30)]
+    different_answers = [engine.answer(different) for _ in range(30)]
+    assert same_answers.count("Yes") > 20
+    assert different_answers.count("No") > 25
+
+
+def test_transformation_uses_program_search(engine):
+    parsed = parse_answer(
+        "20000101 can be transformed to 2000-01-01. "
+        "20101231 can be transformed to 2010-12-31. "
+        "19990415 can be transformed to __."
+    )
+    answers = [engine.answer(parsed) for _ in range(30)]
+    assert answers.count("1999-04-15") > 20
+
+
+def test_transformation_semantic_lookup(city_knowledge):
+    city_knowledge.add_fact("germany", "transformation", "DEU", 0.9, "geography")
+    engine = AnswerEngine(get_profile("gpt-3-175b"), city_knowledge, np.random.default_rng(1))
+    parsed = parse_answer(
+        "france can be transformed to FRA. germany can be transformed to __."
+    )
+    answers = [engine.answer(parsed) for _ in range(30)]
+    assert answers.count("DEU") > 18
+
+
+def test_table_qa_sums_mentioned_entities(engine):
+    prompt = (
+        "Australia (AUS) won 2 gold medals. Switzerland (SUI) won 0 gold medals. "
+        "Italy (ITA) won 3 gold medals. "
+        "Question: how many gold medals did Australia (AUS) and Switzerland (SUI) total? "
+        "The answer is __."
+    )
+    parsed = parse_answer(prompt)
+    answers = [engine.answer(parsed) for _ in range(30)]
+    assert answers.count("2") > 15
+
+
+def test_join_discovery_equivalence_evidence(city_knowledge):
+    city_knowledge.add_equivalence("Germany", "GER")
+    city_knowledge.add_equivalence("Italy", "ITA")
+    engine = AnswerEngine(get_profile("gpt-3-175b"), city_knowledge, np.random.default_rng(2))
+    joinable = parse_answer(
+        'Column "fifa.country_abrv" contains GER and ITA. '
+        'Column "countries.name" contains Germany and Italy. '
+        "Are the two columns joinable? Yes or No."
+    )
+    unrelated = parse_answer(
+        'Column "fifa.country_abrv" contains GER and ITA. '
+        'Column "palette.color" contains red and blue. '
+        "Are the two columns joinable? Yes or No."
+    )
+    yes = [engine.answer(joinable) for _ in range(30)].count("Yes")
+    no = [engine.answer(unrelated) for _ in range(30)].count("No")
+    assert yes > 20
+    assert no > 20
+
+
+def test_extraction_finds_domain_value(city_knowledge):
+    city_knowledge.add_domain_values("position", ["point guard", "small forward"])
+    engine = AnswerEngine(get_profile("gpt-4-turbo"), city_knowledge, np.random.default_rng(3))
+    parsed = parse_answer(
+        "Kevin Durant is an American basketball player who plays small forward. "
+        "The position is __."
+    )
+    answers = [engine.answer(parsed) for _ in range(40)]
+    assert answers.count("small forward") > 15
+
+
+def test_generic_fallback_returns_context_value(engine):
+    parsed = parse_answer("Florence is a city in the country Italy. Please continue __.")
+    assert isinstance(engine.answer(parsed), str)
+
+
+def test_entity_match_score_symmetry_and_range():
+    a = "title: sony camera x, price: 100"
+    b = "title: sony camera x, price: 100"
+    c = "title: lawn mower, price: 5"
+    assert entity_match_score(a, b) > entity_match_score(a, c)
+    assert entity_match_score(a, b) == pytest.approx(entity_match_score(b, a))
+
+
+def test_looks_corrupted_heuristics():
+    assert _looks_corrupted("mxrshxll")
+    assert _looks_corrupted("")
+    assert _looks_corrupted("heeeello" + "l" * 4)
+    assert not _looks_corrupted("birmingham")
+
+
+def test_perturb_string_changes_value():
+    rng = np.random.default_rng(0)
+    assert _perturb_string("12345", rng) != "12345"
+    assert _perturb_string("hello", rng) != "hello"
+    assert _perturb_string("", rng) == "unknown"

@@ -1,0 +1,46 @@
+"""Unit tests for the caching LLM wrapper."""
+
+import pytest
+
+from repro.llm import CachedLLM, EchoLLM
+
+
+def test_cache_hits_do_not_invoke_inner_model():
+    inner = EchoLLM(reply="pong")
+    cached = CachedLLM(inner)
+    cached.complete("same prompt")
+    cached.complete("same prompt")
+    assert inner.usage.calls == 1
+    assert cached.usage.calls == 2
+    assert cached.hits == 1
+    assert cached.misses == 1
+    assert cached.hit_rate == pytest.approx(0.5)
+
+
+def test_cache_eviction_respects_max_entries():
+    inner = EchoLLM(reply="x")
+    cached = CachedLLM(inner, max_entries=2)
+    cached.complete("a")
+    cached.complete("b")
+    cached.complete("c")  # evicts "a"
+    cached.complete("a")  # miss again
+    assert inner.usage.calls == 4
+
+
+def test_cache_clear():
+    cached = CachedLLM(EchoLLM(reply="x"))
+    cached.complete("a")
+    cached.clear()
+    assert cached.hits == 0 and cached.misses == 0
+    cached.complete("a")
+    assert cached.misses == 1
+
+
+def test_cache_validates_max_entries():
+    with pytest.raises(ValueError):
+        CachedLLM(EchoLLM(), max_entries=0)
+
+
+def test_cache_name_mentions_inner_model():
+    cached = CachedLLM(EchoLLM())
+    assert "echo" in cached.name

@@ -1,0 +1,72 @@
+"""Unit tests for simulated fine-tuning."""
+
+import pytest
+
+from repro.llm import FineTuner, LabeledPair, WorldKnowledge
+from repro.llm.profiles import get_profile
+
+
+def make_pairs():
+    positives = [
+        LabeledPair(f"title: sony camera x{i}, price: 100", f"title: sony camera x{i} black, price: 101", True)
+        for i in range(30)
+    ]
+    negatives = [
+        LabeledPair(f"title: sony camera x{i}, price: 100", f"title: garmin gps z{i + 50}, price: 300", False)
+        for i in range(30)
+    ]
+    return positives + negatives
+
+
+def test_finetuner_requires_pairs():
+    with pytest.raises(ValueError):
+        FineTuner().fit(get_profile("gpt-j-6b"), [])
+
+
+def test_finetuner_returns_calibrated_model():
+    tuner = FineTuner()
+    model, report = tuner.fit(
+        get_profile("gpt-j-6b"), make_pairs(), knowledge=WorldKnowledge(), domain="products"
+    )
+    assert report.n_examples == 60
+    assert 0.0 <= report.threshold <= 1.0
+    assert report.train_f1 > 0.8
+    profile = model.profile
+    assert profile.yes_bias == 0.0
+    assert profile.calibration_noise < get_profile("gpt-j-6b").calibration_noise
+    assert profile.domain_familiarity.get("products") == 1.0
+    assert "fine" in profile.display_name.lower()
+
+
+def test_finetuning_improves_er_decisions():
+    pairs = make_pairs()
+    raw = get_profile("gpt-j-6b")
+    tuned, _ = FineTuner().fit(raw, pairs, knowledge=WorldKnowledge(), domain="products")
+    # The tuned profile's decision rule should classify the training pairs far
+    # better than the raw profile's default threshold + bias would.
+    from repro.llm.answering import entity_match_score
+
+    def f1(threshold, bias):
+        tp = fp = fn = 0
+        for pair in pairs:
+            score = entity_match_score(pair.left, pair.right) + bias
+            predicted = score >= threshold
+            if predicted and pair.label:
+                tp += 1
+            elif predicted and not pair.label:
+                fp += 1
+            elif not predicted and pair.label:
+                fn += 1
+        if tp == 0:
+            return 0.0
+        precision, recall = tp / (tp + fp), tp / (tp + fn)
+        return 2 * precision * recall / (precision + recall)
+
+    raw_f1 = f1(raw.match_threshold, raw.yes_bias)
+    tuned_f1 = f1(tuned.profile.match_threshold, tuned.profile.yes_bias)
+    assert tuned_f1 >= raw_f1
+
+
+def test_finetuner_epoch_validation():
+    with pytest.raises(ValueError):
+        FineTuner(epochs=0)

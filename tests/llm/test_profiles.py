@@ -1,0 +1,65 @@
+"""Unit tests for model profiles and the registry."""
+
+import pytest
+
+from repro.llm import MODEL_REGISTRY, ModelProfile, get_profile, list_models
+from repro.llm.profiles import DEFAULT_MODEL
+
+
+def test_registry_contains_paper_models():
+    expected = {
+        "gpt-3-175b", "gpt-4-turbo", "claude2", "llama2-7b", "llama2-70b",
+        "qwen-7b", "gpt-j-6b",
+    }
+    assert expected <= set(MODEL_REGISTRY)
+    assert DEFAULT_MODEL in MODEL_REGISTRY
+    assert list_models() == sorted(MODEL_REGISTRY)
+
+
+def test_get_profile_case_insensitive_and_unknown():
+    assert get_profile("GPT-3-175B").name == "gpt-3-175b"
+    with pytest.raises(KeyError):
+        get_profile("not-a-model")
+
+
+def test_capability_ordering_matches_paper():
+    # Table 6 ordering: GPT-4 > GPT-3 > Claude2 / LLaMA2-70B > 7B models;
+    # GPT-J-6B is the weakest (Table 5).
+    caps = {name: profile.capability for name, profile in MODEL_REGISTRY.items()}
+    assert caps["gpt-4-turbo"] > caps["gpt-3-175b"] > caps["claude2"]
+    assert caps["claude2"] > caps["llama2-7b"]
+    assert caps["llama2-70b"] > caps["llama2-7b"]
+    assert caps["gpt-j-6b"] < caps["qwen-7b"]
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        ModelProfile(
+            name="bad", display_name="bad", parameters_billion=1,
+            capability=1.5, knowledge_recall=0.5, context_fidelity=0.5,
+            calibration_noise=0.1,
+        )
+    with pytest.raises(ValueError):
+        ModelProfile(
+            name="bad", display_name="bad", parameters_billion=1,
+            capability=0.5, knowledge_recall=0.5, context_fidelity=0.5,
+            calibration_noise=-0.1,
+        )
+
+
+def test_familiarity_hierarchical_fallback():
+    profile = get_profile("gpt-3-175b").with_updates(
+        domain_familiarity={"products": 0.6}
+    )
+    assert profile.familiarity("products.software") == pytest.approx(0.6)
+    assert profile.familiarity("products") == pytest.approx(0.6)
+    assert profile.familiarity("geography") == 1.0
+    assert profile.familiarity("") == 1.0
+
+
+def test_competence_and_with_updates():
+    profile = get_profile("gpt-j-6b")
+    assert profile.competence("entity_resolution") == 0.0
+    tuned = profile.with_updates(task_competence={"entity_resolution": 0.05})
+    assert tuned.competence("entity_resolution") == pytest.approx(0.05)
+    assert profile.competence("entity_resolution") == 0.0  # original untouched

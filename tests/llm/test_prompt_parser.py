@@ -1,0 +1,222 @@
+"""Unit tests for prompt classification and parsing."""
+
+from repro.llm.prompt_parser import (
+    AnswerStyle,
+    ContextFormat,
+    PromptKind,
+    classify,
+    detect_context_format,
+    detect_task_name,
+    parse_answer,
+    parse_cloze_construction,
+    parse_data_parsing,
+    parse_instance_retrieval,
+    parse_meta_retrieval,
+    parse_pairs,
+)
+from repro.prompting import (
+    CLOZE_CONSTRUCTION,
+    DATA_PARSING,
+    DIRECT_ANSWER,
+    INSTANCE_RETRIEVAL,
+    META_RETRIEVAL,
+    render_demonstrations,
+)
+
+
+def test_classify_all_prompt_kinds():
+    meta = META_RETRIEVAL.render(task="data imputation", query="Copenhagen, timezone", candidates="country, population")
+    inst = INSTANCE_RETRIEVAL.render(task="data imputation", query="Copenhagen, timezone", instances="1) city: Florence")
+    parse = DATA_PARSING.render(serialized="city: Florence, country: Italy")
+    cloze = CLOZE_CONSTRUCTION.render(
+        demonstrations=render_demonstrations(), task_description="data imputation which ...",
+        context="Florence is in Italy", query="Copenhagen, timezone",
+    )
+    assert classify(meta) is PromptKind.META_RETRIEVAL
+    assert classify(inst) is PromptKind.INSTANCE_RETRIEVAL
+    assert classify(parse) is PromptKind.DATA_PARSING
+    assert classify(cloze) is PromptKind.CLOZE_CONSTRUCTION
+    assert classify("The timezone of Copenhagen is __.") is PromptKind.ANSWER
+
+
+def test_parse_meta_retrieval_fields():
+    prompt = META_RETRIEVAL.render(
+        task="data imputation", query="Copenhagen, timezone",
+        candidates="country, population, postalcode",
+    )
+    parsed = parse_meta_retrieval(prompt)
+    assert parsed.task == "data imputation"
+    assert parsed.query == "Copenhagen, timezone"
+    assert parsed.candidates == ["country", "population", "postalcode"]
+
+
+def test_parse_instance_retrieval_lines():
+    prompt = INSTANCE_RETRIEVAL.render(
+        task="data imputation", query="Copenhagen, timezone",
+        instances="1) city: Florence, country: Italy\n2) city: London, country: UK",
+    )
+    parsed = parse_instance_retrieval(prompt)
+    assert len(parsed.instances) == 2
+    assert parsed.instances[0][0] == 1
+    assert "Florence" in parsed.instances[0][1]
+
+
+def test_parse_pairs_handles_spaces_and_punctuation():
+    pairs = parse_pairs("name: golden dragon bistro, addr: 7219 wilshire blvd, phone: 310-941-7013")
+    assert ("name", "golden dragon bistro") in pairs
+    assert ("phone", "310-941-7013") in pairs
+
+
+def test_parse_data_parsing_rows():
+    prompt = DATA_PARSING.render(
+        serialized="city: Florence, country: Italy\ncity: Alicante, country: Spain"
+    )
+    parsed = parse_data_parsing(prompt)
+    assert len(parsed.rows) == 2
+    assert parsed.rows[0][0] == ("city", "Florence")
+
+
+def test_parse_cloze_construction_extracts_final_claim():
+    prompt = CLOZE_CONSTRUCTION.render(
+        demonstrations=render_demonstrations(),
+        task_description="data imputation which produces the missing data.",
+        context="Florence is a city in the country Italy.",
+        query="Copenhagen, timezone",
+    )
+    parsed = parse_cloze_construction(prompt)
+    assert parsed.task_name == "data imputation"
+    assert "Florence" in parsed.context
+    assert parsed.query == "Copenhagen, timezone"
+
+
+def test_detect_task_name():
+    assert detect_task_name("The task is entity resolution which ...") == "entity resolution"
+    assert detect_task_name("nothing relevant") == "unknown"
+
+
+def test_detect_context_format():
+    assert detect_context_format("") is ContextFormat.NONE
+    assert detect_context_format("city: Florence, country: Italy") is ContextFormat.PAIRS
+    assert detect_context_format("Florence is a city in Italy.") is ContextFormat.NATURAL
+
+
+def test_parse_answer_cloze_imputation():
+    prompt = (
+        "The task is to impute the missing value. Florence is a city in the country Italy. "
+        "The timezone of Copenhagen is __."
+    )
+    parsed = parse_answer(prompt)
+    assert parsed.style is AnswerStyle.CLOZE
+    assert parsed.task == "data imputation"
+    assert parsed.entity == "Copenhagen"
+    assert parsed.attribute == "timezone"
+
+
+def test_parse_answer_cloze_entity_not_polluted_by_context():
+    prompt = (
+        "north star noodle house is located in the city of atlanta. "
+        "The city of ivory coast cantina is __."
+    )
+    parsed = parse_answer(prompt)
+    assert parsed.entity == "ivory coast cantina"
+    assert parsed.attribute == "city"
+
+
+def test_parse_answer_direct_prompt():
+    prompt = DIRECT_ANSWER.render(
+        task="data imputation",
+        context="city: Florence, country: Italy",
+        query="Copenhagen, timezone",
+    )
+    parsed = parse_answer(prompt)
+    assert parsed.style is AnswerStyle.DIRECT
+    assert parsed.entity == "Copenhagen"
+    assert parsed.attribute == "timezone"
+    assert parsed.context_format is ContextFormat.PAIRS
+
+
+def test_parse_answer_fm_imputation():
+    prompt = (
+        "name: oceana, addr: 55 e. 54th st., type: seafood. What is the city? new york\n"
+        "name: ruth's chris steak house, addr: 224 s. beverly dr., type: steakhouses. What is the city?"
+    )
+    parsed = parse_answer(prompt)
+    assert parsed.style is AnswerStyle.FM
+    assert parsed.task == "data imputation"
+    assert parsed.attribute == "city"
+    assert parsed.entity == "ruth's chris steak house"
+    assert "oceana" in parsed.context_text
+
+
+def test_parse_answer_fm_error_detection():
+    parsed = parse_answer("Is there an error in city: sheffxeld? Yes or No.")
+    assert parsed.task == "error detection"
+    assert parsed.attribute == "city"
+    assert parsed.value == "sheffxeld"
+
+
+def test_parse_answer_cloze_error_detection():
+    prompt = (
+        'The task is to detect whether the value contains an error. '
+        'It is required to identify if there is an error in the city "sheffxeld". '
+        "Is there an error in the city? Yes or No."
+    )
+    parsed = parse_answer(prompt)
+    assert parsed.style is AnswerStyle.CLOZE
+    assert parsed.task == "error detection"
+    assert parsed.attribute == "city"
+    assert parsed.value == "sheffxeld"
+
+
+def test_parse_answer_entity_resolution_cloze():
+    prompt = (
+        "Entity A is title: punch home design 4000, price: 199.99, whereas "
+        "Entity B is title: punch home design 18, price: 18.99. "
+        "Are these two entities the same? Yes or No."
+    )
+    parsed = parse_answer(prompt)
+    assert parsed.task == "entity resolution"
+    assert "4000" in parsed.entity_a
+    assert "18.99" in parsed.entity_b
+
+
+def test_parse_answer_fm_entity_resolution():
+    prompt = (
+        "Entity A is title: sony camera. Entity B is title: canon camera. "
+        "Are Entity A and Entity B the same? Yes or No."
+    )
+    parsed = parse_answer(prompt)
+    assert parsed.style is AnswerStyle.FM
+    assert parsed.task == "entity resolution"
+    assert "sony" in parsed.entity_a
+
+
+def test_parse_answer_transformation_cloze():
+    prompt = (
+        "20000101 can be transformed to 2000-01-01. "
+        "19990415 can be transformed to __."
+    )
+    parsed = parse_answer(prompt)
+    assert parsed.task == "data transformation"
+    assert parsed.source == "19990415"
+    assert ("20000101", "2000-01-01") in parsed.example_pairs
+
+
+def test_parse_answer_fm_transformation():
+    prompt = "20000101 to 2000-01-01\n19990415 to"
+    parsed = parse_answer(prompt)
+    assert parsed.style is AnswerStyle.FM
+    assert parsed.task == "data transformation"
+    assert parsed.source == "19990415"
+    assert ("20000101", "2000-01-01") in parsed.example_pairs
+
+
+def test_parse_answer_join_and_extraction_and_tableqa():
+    join = parse_answer('Column "a.x" contains GER and ITA. Are the two columns joinable? Yes or No.')
+    assert join.task == "join discovery"
+    extraction = parse_answer("Kevin Durant is a basketball player. The player is __.")
+    assert extraction.task == "information extraction"
+    assert extraction.attribute == "player"
+    qa = parse_answer("Australia won 2 gold medals. Question: how many gold medals did Australia win? The answer is __.")
+    assert qa.task == "table question answering"
+    assert "Australia" in qa.question

@@ -1,0 +1,40 @@
+"""Unit tests for the simple tokenizer."""
+
+import pytest
+
+from repro.llm import SimpleTokenizer, count_tokens
+
+
+def test_count_tokens_nonzero_for_text():
+    assert count_tokens("hello world") >= 2
+    assert count_tokens("") == 0
+
+
+def test_long_words_are_split_into_subwords():
+    tokenizer = SimpleTokenizer(subword_length=4)
+    tokens = tokenizer.tokenize("internationalization")
+    assert len(tokens) == 5
+    assert "".join(tokens) == "internationalization"
+
+
+def test_punctuation_counts_as_tokens():
+    tokenizer = SimpleTokenizer()
+    assert tokenizer.count("a, b.") == 4
+
+
+def test_count_many_sums_counts():
+    tokenizer = SimpleTokenizer()
+    texts = ["one two", "three"]
+    assert tokenizer.count_many(texts) == tokenizer.count("one two") + tokenizer.count("three")
+
+
+def test_invalid_subword_length():
+    with pytest.raises(ValueError):
+        SimpleTokenizer(subword_length=0)
+
+
+def test_token_count_monotone_in_length():
+    tokenizer = SimpleTokenizer()
+    short = tokenizer.count("a few words")
+    long = tokenizer.count("a few words " * 10)
+    assert long > short

@@ -1,0 +1,50 @@
+"""Property-based tests on pipeline-level invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ImputationTask, UniDM, UniDMConfig
+from repro.llm import SimulatedLLM
+
+from tests.conftest import build_city_knowledge, build_city_table
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    use_parsing=st.booleans(),
+    use_cloze=st.booleans(),
+    top_k=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_pipeline_always_returns_a_value_and_tracks_usage(seed, use_parsing, use_cloze, top_k):
+    table = build_city_table()
+    knowledge = build_city_knowledge()
+    llm = SimulatedLLM(knowledge=knowledge, seed=seed)
+    config = UniDMConfig(
+        use_context_parsing=use_parsing,
+        use_cloze_prompt=use_cloze,
+        top_k_instances=top_k,
+        candidate_sample_size=max(top_k, 4),
+        seed=seed,
+    )
+    pipeline = UniDM(llm, config)
+    result = pipeline.run(ImputationTask(table, table[5], "timezone"))
+    assert isinstance(result.value, str) and result.value
+    assert result.usage.calls >= 1
+    assert result.usage.total_tokens > 0
+    # The answer prompt is always the last traced prompt.
+    assert result.trace.target_prompt is not None
+
+
+@given(seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_same_seed_same_answers(seed):
+    table = build_city_table()
+    knowledge = build_city_knowledge()
+
+    def run_once():
+        llm = SimulatedLLM(knowledge=knowledge, seed=seed)
+        pipeline = UniDM(llm, UniDMConfig.full(seed=seed, candidate_sample_size=4, top_k_instances=2))
+        return pipeline.run(ImputationTask(table, table[5], "timezone")).value
+
+    assert run_once() == run_once()

@@ -1,0 +1,62 @@
+"""Property-based tests for the string similarity utilities."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalake import text
+
+words = st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x7F), min_size=0, max_size=30)
+phrases = st.lists(words, min_size=0, max_size=6).map(" ".join)
+
+
+@given(phrases)
+@settings(max_examples=60)
+def test_similarity_is_reflexive(value):
+    if value.strip():
+        assert text.string_similarity(value, value) > 0.95
+    assert 0.0 <= text.string_similarity(value, value) <= 1.0
+
+
+@given(phrases, phrases)
+@settings(max_examples=60)
+def test_similarity_symmetric_and_bounded(a, b):
+    ab = text.string_similarity(a, b)
+    ba = text.string_similarity(b, a)
+    assert abs(ab - ba) < 1e-9
+    assert 0.0 <= ab <= 1.0
+
+
+@given(phrases, phrases)
+@settings(max_examples=60)
+def test_levenshtein_triangle_like_properties(a, b):
+    distance = text.levenshtein(a, b)
+    assert distance >= 0
+    assert distance == text.levenshtein(b, a)
+    if text.normalize(a) == text.normalize(b):
+        assert distance == 0
+
+
+@given(phrases, phrases)
+@settings(max_examples=60)
+def test_jaccard_bounds_and_identity(a, b):
+    score = text.token_jaccard(a, b)
+    assert 0.0 <= score <= 1.0
+    if text.tokenize(a):
+        assert text.token_jaccard(a, a) == 1.0
+
+
+@given(phrases)
+@settings(max_examples=40)
+def test_embedding_is_unit_norm_or_zero(value):
+    import numpy as np
+
+    vector = text.hashed_ngram_vector(value, dim=64)
+    norm = np.linalg.norm(vector)
+    assert norm == 0.0 or abs(norm - 1.0) < 1e-9
+
+
+@given(phrases)
+@settings(max_examples=40)
+def test_normalize_idempotent(value):
+    once = text.normalize(value)
+    assert text.normalize(once) == once

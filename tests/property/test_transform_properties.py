@@ -1,0 +1,59 @@
+"""Property-based tests for the transformation operators and program search."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transforms import OPERATOR_LIBRARY, ProgramSearcher
+
+arbitrary_strings = st.text(min_size=0, max_size=40)
+
+
+@given(arbitrary_strings)
+@settings(max_examples=60)
+def test_operators_total_and_string_valued(value):
+    for operator in OPERATOR_LIBRARY:
+        result = operator(value)
+        assert result is None or isinstance(result, str)
+
+
+@given(st.integers(min_value=0, max_value=10**8))
+@settings(max_examples=40)
+def test_thousand_separator_round_trip(number):
+    add = dict((o.name, o) for o in OPERATOR_LIBRARY)["add_thousands_separator"]
+    strip = dict((o.name, o) for o in OPERATOR_LIBRARY)["strip_thousands_separator"]
+    formatted = add(str(number))
+    assert formatted is not None
+    if "," in formatted:
+        assert strip(formatted) == str(number)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1990, max_value=2030),
+            st.integers(min_value=1, max_value=12),
+            st.integers(min_value=1, max_value=28),
+        ),
+        min_size=2,
+        max_size=4,
+        unique=True,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_search_finds_program_consistent_with_unseen_example(dates):
+    pairs = [
+        (f"{y:04d}{m:02d}{d:02d}", f"{y:04d}-{m:02d}-{d:02d}") for y, m, d in dates
+    ]
+    *examples, held_out = pairs
+    program = ProgramSearcher().search(examples).program
+    assert program is not None
+    assert program(held_out[0]) == held_out[1]
+
+
+@given(arbitrary_strings, arbitrary_strings)
+@settings(max_examples=30, deadline=None)
+def test_found_programs_are_consistent_by_construction(a, b):
+    searcher = ProgramSearcher(max_depth=1)
+    result = searcher.search([(a, b)])
+    if result.program is not None:
+        assert result.program(a) == b

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_list_datasets(capsys):
+    assert main(["list-datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "restaurant" in out and "nextiajd" in out
+
+
+def test_cli_list_experiments(capsys):
+    assert main(["list-experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "figure5" in out
+
+
+def test_cli_run_experiment_unknown(capsys):
+    assert main(["run-experiment", "nope"]) == 2
+
+
+def test_cli_run_experiment_small(capsys):
+    assert main(["run-experiment", "table11", "--max-tasks", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Evaporate" in out
+
+
+def test_cli_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "target prompt:" in out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,92 @@
+"""Unit tests for the string transformation operator library."""
+
+import pytest
+
+from repro.transforms import OPERATOR_LIBRARY, OPERATORS_BY_NAME
+
+
+def op(name):
+    return OPERATORS_BY_NAME[name]
+
+
+def test_library_is_nonempty_and_indexed():
+    assert len(OPERATOR_LIBRARY) > 25
+    assert set(OPERATORS_BY_NAME) == {o.name for o in OPERATOR_LIBRARY}
+
+
+@pytest.mark.parametrize(
+    "name,value,expected",
+    [
+        ("compact_date_to_iso", "20210315", "2021-03-15"),
+        ("compact_date_to_readable", "20201103", "Nov 03 2020"),
+        ("iso_date_to_us", "1999-04-15", "04/15/1999"),
+        ("us_date_to_iso", "4/15/1999", "1999-04-15"),
+        ("iso_date_to_long", "2020-06-03", "June 3, 2020"),
+        ("digits_to_dashed_phone", "3105551234", "310-555-1234"),
+        ("digits_to_paren_phone", "3105551234", "(310) 555-1234"),
+        ("phone_strip_to_digits", "(310) 555-1234", "3105551234"),
+        ("to_upper", "abc", "ABC"),
+        ("to_lower", "ABC", "abc"),
+        ("to_title", "hello world", "Hello World"),
+        ("strip_whitespace", "  x  ", "x"),
+        ("collapse_spaces", "a   b", "a b"),
+        ("snake_to_camel", "user_name_count", "userNameCount"),
+        ("camel_to_snake", "userNameCount", "user_name_count"),
+        ("spaces_to_underscores", "a b c", "a_b_c"),
+        ("roman_to_arabic", "XIV", "14"),
+        ("arabic_to_roman", "14", "XIV"),
+        ("add_thousands_separator", "1234567", "1,234,567"),
+        ("strip_thousands_separator", "1,234,567", "1234567"),
+        ("cents_to_dollars", "199", "$1.99"),
+        ("number_to_percent", "0.125", "12.5%"),
+        ("extract_domain", "https://www.example.org/page/3", "example.org"),
+        ("extract_zipcode", "123 main st Springfield CA 90210", "90210"),
+        ("last_name_first", "John Smith", "Smith, John"),
+        ("first_name_initial", "John Smith", "J. Smith"),
+        ("extract_state_abbrev", "123 main st Springfield CA 90210", "CA"),
+        ("ip_to_dotted_padded", "8.8.4.4", "008.008.004.004"),
+        ("padded_ip_to_plain", "008.008.004.004", "8.8.4.4"),
+        ("extract_file_extension", "report_final.PDF", "pdf"),
+        ("extract_year", "released in 1994 remastered", "1994"),
+        ("seconds_to_hms", "3725", "01:02:05"),
+    ],
+)
+def test_operator_happy_path(name, value, expected):
+    assert op(name)(value) == expected
+
+
+@pytest.mark.parametrize(
+    "name,value",
+    [
+        ("compact_date_to_iso", "not-a-date"),
+        ("compact_date_to_iso", "20211599"),   # invalid month/day
+        ("us_date_to_iso", "1999-04-15"),
+        ("digits_to_dashed_phone", "12345"),
+        ("snake_to_camel", "plain"),
+        ("camel_to_snake", "lower"),
+        ("spaces_to_underscores", "nospace"),
+        ("roman_to_arabic", "ABC"),
+        ("arabic_to_roman", "999"),
+        ("add_thousands_separator", "12.5"),
+        ("strip_thousands_separator", "123"),
+        ("number_to_percent", "5"),
+        ("extract_domain", "no url here"),
+        ("extract_zipcode", "no zip"),
+        ("last_name_first", "Cher"),
+        ("extract_state_abbrev", "lowercase only"),
+        ("ip_to_dotted_padded", "300.1.1.1"),
+        ("padded_ip_to_plain", "8.8.4.4"),
+        ("extract_file_extension", "no extension"),
+        ("extract_year", "year 123"),
+        ("seconds_to_hms", "abc"),
+    ],
+)
+def test_operator_rejects_inapplicable_input(name, value):
+    assert op(name)(value) is None
+
+
+def test_operators_never_raise_on_arbitrary_strings():
+    weird_inputs = ["", " ", "___", "12,34.56", "a" * 200, "名前", "None"]
+    for operator in OPERATOR_LIBRARY:
+        for value in weird_inputs:
+            operator(value)  # must not raise

@@ -1,0 +1,66 @@
+"""Unit tests for by-example program search."""
+
+import pytest
+
+from repro.transforms import OPERATORS_BY_NAME, ProgramSearcher, TransformProgram, infer_program
+
+
+def test_identity_shortcut():
+    searcher = ProgramSearcher()
+    result = searcher.search([("same", "same")])
+    assert result.found
+    assert len(result.program) == 0
+    assert result.program("anything") == "anything"
+
+
+def test_single_operator_program_found():
+    program = infer_program([("20210315", "2021-03-15"), ("19991231", "1999-12-31")])
+    assert program is not None
+    assert program("20000101") == "2000-01-01"
+
+
+def test_two_step_composition_found():
+    # upper-case then snake->camel is not meaningful; use strip + upper instead.
+    examples = [("  hello  ", "HELLO"), ("  bye ", "BYE")]
+    program = infer_program(examples, max_depth=2)
+    assert program is not None
+    assert program(" ok ") == "OK"
+
+
+def test_inconsistent_examples_yield_no_program():
+    program = infer_program([("20210315", "2021-03-15"), ("20210316", "not-a-date")])
+    assert program is None
+
+
+def test_semantic_mapping_not_found_by_search():
+    assert infer_program([("germany", "DEU"), ("france", "FRA")]) is None
+
+
+def test_search_requires_examples():
+    with pytest.raises(ValueError):
+        ProgramSearcher().search([])
+
+
+def test_max_depth_validation():
+    with pytest.raises(ValueError):
+        ProgramSearcher(max_depth=0)
+
+
+def test_transform_convenience():
+    searcher = ProgramSearcher()
+    assert searcher.transform([("abc", "ABC")], "xyz") == "XYZ"
+    assert searcher.transform([("germany", "DEU")], "spain") is None
+
+
+def test_program_name_and_consistency():
+    program = TransformProgram((OPERATORS_BY_NAME["to_upper"],))
+    assert program.name == "to_upper"
+    assert program.is_consistent([("a", "A")])
+    assert not program.is_consistent([("a", "b")])
+
+
+def test_candidate_budget_respected():
+    searcher = ProgramSearcher(max_candidates=5)
+    result = searcher.search([("germany", "DEU")])
+    assert not result.found
+    assert result.candidates_tried <= 6
