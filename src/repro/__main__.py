@@ -7,20 +7,66 @@ Commands
 ``list-experiments``
     Print the experiment modules (one per paper table / figure).
 ``run-experiment NAME``
-    Regenerate one table / figure (e.g. ``table1`` or ``figure5``).
+    Regenerate one table / figure (e.g. ``table1`` or ``figure5``).  With
+    ``--engine`` the experiment's pipeline methods run through the batched
+    serving engine instead of a sequential loop.
 ``demo``
     Run the Figure-2 style quickstart on a freshly generated Restaurant task.
+    With ``--engine`` all of the dataset's tasks are executed through the
+    serving engine and a throughput summary is printed.
+``serve``
+    Answer JSON task requests (newline-delimited; blank line flushes a batch)
+    on stdin/stdout, or on a TCP socket with ``--port``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .core import UniDM, UniDMConfig
 from .datasets import list_datasets, load_dataset
 from .experiments import ALL_EXPERIMENTS
-from .llm import SimulatedLLM
+from .llm import CachedLLM, SimulatedLLM
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {number}")
+    return number
+
+
+def _engine_from_args(args: argparse.Namespace):
+    from .serving import EngineConfig, ExecutionEngine
+
+    return ExecutionEngine(
+        EngineConfig(max_batch_size=args.batch_size, workers=args.workers)
+    )
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        action="store_true",
+        help="execute through the batched serving engine",
+    )
+    parser.add_argument("--batch-size", type=_positive_int, default=8, help="micro-batch size")
+    parser.add_argument("--workers", type=_positive_int, default=8, help="concurrent tasks in flight")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of a persistent completion cache (created if missing)",
+    )
+
+
+def _maybe_cached(llm, cache_dir: str | None):
+    if cache_dir is None:
+        return llm
+    from .serving import PersistentCache
+
+    return CachedLLM(llm, persistent=PersistentCache(cache_dir))
 
 
 def _cmd_list_datasets(_: argparse.Namespace) -> int:
@@ -40,16 +86,35 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
     if args.name not in ALL_EXPERIMENTS:
         print(f"unknown experiment {args.name!r}; available: {sorted(ALL_EXPERIMENTS)}")
         return 2
+    if args.engine:
+        from .eval import set_default_engine
+        from .serving import EngineConfig
+
+        print(
+            "note: --engine runs cold simulated models concurrently; their "
+            "noise streams are call-order-sensitive, so scores may differ "
+            "slightly from the sequential reproduction",
+            file=sys.stderr,
+        )
+        set_default_engine(
+            EngineConfig(max_batch_size=args.batch_size, workers=args.workers)
+        )
     kwargs = {"seed": args.seed}
     if args.max_tasks is not None:
         kwargs["max_tasks"] = args.max_tasks
-    ALL_EXPERIMENTS[args.name].main(**kwargs)
+    try:
+        ALL_EXPERIMENTS[args.name].main(**kwargs)
+    finally:
+        if args.engine:
+            set_default_engine(None)
     return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     dataset = load_dataset("restaurant", seed=args.seed, n_records=80, n_tasks=5)
-    llm = SimulatedLLM(knowledge=dataset.knowledge, seed=args.seed)
+    llm = _maybe_cached(
+        SimulatedLLM(knowledge=dataset.knowledge, seed=args.seed), args.cache_dir
+    )
     pipeline = UniDM(llm, UniDMConfig.full(seed=args.seed))
     task = dataset.tasks[0]
     result = pipeline.run(task)
@@ -59,6 +124,50 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print("answer       :", result.value)
     print("ground truth :", dataset.ground_truth[0])
     print("tokens       :", result.total_tokens)
+    if args.engine:
+        engine = _engine_from_args(args)
+        started = time.perf_counter()
+        results = pipeline.run_many(dataset.tasks, engine=engine)
+        elapsed = time.perf_counter() - started
+        correct = sum(
+            1 for r, truth in zip(results, dataset.ground_truth) if r.value == truth
+        )
+        stats = engine.last_report.stats
+        print(
+            f"engine       : {len(results)} tasks in {elapsed:.3f}s "
+            f"({len(results) / elapsed:.1f} tasks/s), {correct}/{len(results)} correct"
+        )
+        if stats is not None:
+            print(
+                f"batching     : {stats.requests} LLM calls in {stats.batches} "
+                f"batches (mean {stats.mean_batch:.2f}, max {stats.max_batch})"
+            )
+        if args.cache_dir is not None:
+            print(f"cache        : hit rate {llm.hit_rate:.2f} ({args.cache_dir})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import build_service
+
+    service = build_service(
+        model=args.model,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        batch_size=args.batch_size,
+        workers=args.workers,
+    )
+    if args.port is not None:
+        import asyncio
+
+        print(f"serving on {args.host}:{args.port}", file=sys.stderr)
+        try:
+            asyncio.run(service.serve_tcp(args.host, args.port))
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        return 0
+    served = service.serve_stream(sys.stdin, sys.stdout)
+    print(f"served {served} requests", file=sys.stderr)
     return 0
 
 
@@ -69,11 +178,25 @@ def main(argv: list[str] | None = None) -> int:
 
     subparsers.add_parser("list-datasets").set_defaults(fn=_cmd_list_datasets)
     subparsers.add_parser("list-experiments").set_defaults(fn=_cmd_list_experiments)
+
     run_parser = subparsers.add_parser("run-experiment")
     run_parser.add_argument("name")
     run_parser.add_argument("--max-tasks", type=int, default=None)
+    _add_engine_flags(run_parser)
     run_parser.set_defaults(fn=_cmd_run_experiment)
-    subparsers.add_parser("demo").set_defaults(fn=_cmd_demo)
+
+    demo_parser = subparsers.add_parser("demo")
+    _add_engine_flags(demo_parser)
+    demo_parser.set_defaults(fn=_cmd_demo)
+
+    serve_parser = subparsers.add_parser("serve")
+    serve_parser.add_argument("--model", default=None, help="simulated model profile")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=None, help="TCP port (default: stdin/stdout)")
+    serve_parser.add_argument("--batch-size", type=_positive_int, default=8)
+    serve_parser.add_argument("--workers", type=_positive_int, default=8)
+    serve_parser.add_argument("--cache-dir", default=None)
+    serve_parser.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

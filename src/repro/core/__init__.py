@@ -4,6 +4,7 @@ from .cloze import TargetPrompt, TargetPromptBuilder
 from .config import UniDMConfig
 from .parsing import ContextParser, ParsedContext
 from .pipeline import UniDM, solve
+from .plan import LLMRequest, Plan, drive
 from .retrieval import ContextRetriever, RetrievedContext
 from .serialization import (
     numbered_instances,
@@ -32,7 +33,10 @@ __all__ = [
     "ImputationTask",
     "InformationExtractionTask",
     "JoinDiscoveryTask",
+    "LLMRequest",
     "ManipulationResult",
+    "Plan",
+    "drive",
     "ParsedContext",
     "PromptTrace",
     "RetrievedContext",

@@ -21,6 +21,7 @@ from ..prompting.templates import (
     render_demonstrations,
 )
 from .config import UniDMConfig
+from .plan import LLMRequest, Plan, drive
 from .tasks.base import Task
 from .types import PromptTrace
 
@@ -46,6 +47,14 @@ class TargetPromptBuilder:
         context_text: str,
         trace: PromptTrace | None = None,
     ) -> TargetPrompt:
+        return drive(self.plan(task, context_text, trace), self.llm)
+
+    def plan(
+        self,
+        task: Task,
+        context_text: str,
+        trace: PromptTrace | None = None,
+    ) -> Plan:
         if not self.config.use_cloze_prompt:
             prompt = DIRECT_ANSWER.render(
                 task=task.short_name,
@@ -62,8 +71,8 @@ class TargetPromptBuilder:
             context=context_text,
             query=task.query(),
         )
-        completion = self.llm.complete(construction_prompt, kind="p_cq")
-        cloze = completion.text.strip()
+        completion_text = yield LLMRequest(construction_prompt, "p_cq")
+        cloze = completion_text.strip()
         if trace is not None:
             trace.cloze_construction = construction_prompt
             trace.target_prompt = cloze

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..llm.base import LanguageModel
 from ..prompting.templates import DATA_PARSING
 from .config import UniDMConfig
+from .plan import LLMRequest, Plan, drive
 from .serialization import serialize_records, serialize_rows
 from .types import PromptTrace
 
@@ -39,28 +40,33 @@ class ContextParser:
         self.config = config
 
     def parse_records(self, records, attributes, trace: PromptTrace | None = None) -> ParsedContext:
-        serialized = serialize_records(records, attributes)
-        return self._parse(serialized, trace)
+        return drive(self.plan_records(records, attributes, trace), self.llm)
 
     def parse_rows(self, rows, trace: PromptTrace | None = None) -> ParsedContext:
-        serialized = serialize_rows(rows)
-        return self._parse(serialized, trace)
+        return drive(self.plan_rows(rows, trace), self.llm)
 
     def parse_raw_text(self, text: str, trace: PromptTrace | None = None) -> ParsedContext:
         """Raw document context bypasses serialization and the parsing prompt."""
         return ParsedContext(serialized=text, text=text, was_parsed=False)
 
-    def _parse(self, serialized: str, trace: PromptTrace | None) -> ParsedContext:
+    # ------------------------------------------------------------------- plans
+    def plan_records(self, records, attributes, trace: PromptTrace | None = None) -> Plan:
+        return (yield from self._plan(serialize_records(records, attributes), trace))
+
+    def plan_rows(self, rows, trace: PromptTrace | None = None) -> Plan:
+        return (yield from self._plan(serialize_rows(rows), trace))
+
+    def _plan(self, serialized: str, trace: PromptTrace | None) -> Plan:
         if not serialized.strip():
             return ParsedContext(serialized="", text="", was_parsed=False)
         if not self.config.use_context_parsing:
             return ParsedContext(serialized=serialized, text=serialized, was_parsed=False)
         prompt = DATA_PARSING.render(serialized=serialized)
-        completion = self.llm.complete(prompt, kind="p_dp")
+        completion_text = yield LLMRequest(prompt, "p_dp")
         if trace is not None:
             trace.data_parsing = prompt
-            trace.data_parsing_output = completion.text
-        text = completion.text.strip()
+            trace.data_parsing_output = completion_text
+        text = completion_text.strip()
         if not text:
             # A degenerate parse falls back to the lossless serialization.
             return ParsedContext(serialized=serialized, text=serialized, was_parsed=False)

@@ -15,17 +15,22 @@ comparison of Table 7.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
-from ..llm.base import LanguageModel
+from ..llm.base import LanguageModel, UsageDelta
 from .cloze import TargetPromptBuilder
 from .config import UniDMConfig
 from .parsing import ContextParser, ParsedContext
-from .retrieval import ContextRetriever
+from .plan import Plan, drive
+from .retrieval import ContextRetriever, RetrievedContext
 from .tasks.base import Task
 from .types import ManipulationResult, PromptTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serving imports core)
+    from ..serving.engine import ExecutionEngine
 
 
 class UniDM:
@@ -46,48 +51,108 @@ class UniDM:
         usage_before = self.llm.usage.snapshot()
 
         context = self._build_context(task, trace)
-        target = self.prompt_builder.build(task, context.text, trace)
+        target = drive(self.plan_target(task, context.text, trace), self.llm)
         completion = self.llm.complete(target.text, kind="answer")
         trace.answer = completion.text
 
         usage = self.llm.usage.delta_since(usage_before)
+        return self.finish(task, context, completion.text, trace, usage)
+
+    def run_many(
+        self,
+        tasks: Iterable[Task],
+        engine: "ExecutionEngine | None" = None,
+    ) -> list[ManipulationResult]:
+        """Solve a sequence of task instances.
+
+        Execution is delegated to the serving
+        :class:`~repro.serving.engine.ExecutionEngine`.  Without an explicit
+        ``engine`` a sequential one (one worker, batch size 1) is used, which
+        issues exactly the same LLM calls in exactly the same order as running
+        :meth:`run` in a loop; pass a concurrent engine to overlap tasks and
+        micro-batch their same-kind prompts.
+
+        When called from inside a running event loop (where the engine's
+        ``asyncio.run`` cannot nest), the default path falls back to the
+        equivalent plain loop over :meth:`run`.
+        """
+        from ..serving.engine import ExecutionEngine  # local: serving imports core
+
+        if engine is None:
+            import asyncio
+
+            try:
+                asyncio.get_running_loop()
+            except RuntimeError:
+                engine = ExecutionEngine.sequential()
+            else:
+                return [self.run(task) for task in tasks]
+        return engine.run(self, tasks)
+
+    # ------------------------------------------------------------- context assembly
+    def _build_context(self, task: Task, trace: PromptTrace) -> "_Context":
+        pre = drive(self.plan_retrieval(task, trace), self.llm)
+        return drive(self.plan_context(pre, trace), self.llm)
+
+    # ----------------------------------------------------------------- plan stages
+    # Algorithm 1 decomposed into sans-IO stages (see repro.core.plan).  The
+    # sync path above and the async serving engine both execute these exact
+    # generators; the split between plan_retrieval (draws from the pipeline
+    # rng) and the later stages (pure functions of their inputs) is what the
+    # engine's ordered-retrieval gate relies on for determinism.
+    def plan_retrieval(self, task: Task, trace: PromptTrace) -> Plan:
+        """Stage 1+2: context retrieval (``p_rm`` / ``p_ri``); consumes the rng."""
+        # Context supplied by the task itself (transformation examples,
+        # documents for information extraction) bypasses retrieval.
+        raw_text = task.context_text()
+        if raw_text is not None:
+            return _PreContext(raw_text=raw_text)
+        rows = task.context_rows()
+        if rows is not None:
+            return _PreContext(rows=rows)
+        retrieved = yield from self.retriever.plan(task, self._rng, trace)
+        return _PreContext(retrieved=retrieved)
+
+    def plan_context(self, pre: "_PreContext", trace: PromptTrace) -> Plan:
+        """Stage 3: context data parsing (``p_dp``)."""
+        if pre.raw_text is not None:
+            parsed = self.parser.parse_raw_text(pre.raw_text, trace)
+            return _Context(text=parsed.text, attributes=[])
+        if pre.rows is not None:
+            parsed = yield from self.parser.plan_rows(pre.rows, trace)
+            return _Context(text=parsed.text, attributes=[])
+        retrieved = pre.retrieved
+        if retrieved is None or retrieved.is_empty:
+            attributes = [] if retrieved is None else retrieved.attributes
+            return _Context(text="", attributes=attributes)
+        parsed = yield from self.parser.plan_records(
+            retrieved.records, retrieved.attributes, trace
+        )
+        return _Context(text=parsed.text, attributes=retrieved.attributes)
+
+    def plan_target(self, task: Task, context_text: str, trace: PromptTrace) -> Plan:
+        """Stage 4: target prompt construction (``p_cq``)."""
+        return (yield from self.prompt_builder.plan(task, context_text, trace))
+
+    def finish(
+        self,
+        task: Task,
+        context: "_Context",
+        answer_text: str,
+        trace: PromptTrace,
+        usage: UsageDelta,
+    ) -> ManipulationResult:
+        """Assemble the result record once the answer completion is in."""
         return ManipulationResult(
             task_type=task.task_type,
-            raw_answer=completion.text,
-            value=task.parse_answer(completion.text),
+            raw_answer=answer_text,
+            value=task.parse_answer(answer_text),
             query=task.query(),
             context_text=context.text,
             selected_attributes=list(getattr(context, "attributes", [])) or [],
             trace=trace,
             usage=usage,
         )
-
-    def run_many(self, tasks: Iterable[Task]) -> list[ManipulationResult]:
-        """Solve a sequence of task instances."""
-        return [self.run(task) for task in tasks]
-
-    # ------------------------------------------------------------- context assembly
-    def _build_context(self, task: Task, trace: PromptTrace) -> "_Context":
-        # 1) Context supplied by the task itself (transformation examples,
-        #    documents for information extraction).
-        raw_text = task.context_text()
-        if raw_text is not None:
-            parsed = self.parser.parse_raw_text(raw_text, trace)
-            return _Context(text=parsed.text, attributes=[])
-
-        rows = task.context_rows()
-        if rows is not None:
-            parsed = self.parser.parse_rows(rows, trace)
-            return _Context(text=parsed.text, attributes=[])
-
-        # 2) Automatic retrieval from the task's source table.
-        retrieved = self.retriever.retrieve(task, self._rng, trace)
-        if retrieved.is_empty:
-            return _Context(text="", attributes=retrieved.attributes)
-        parsed = self.parser.parse_records(
-            retrieved.records, retrieved.attributes, trace
-        )
-        return _Context(text=parsed.text, attributes=retrieved.attributes)
 
 
 class _Context:
@@ -98,6 +163,19 @@ class _Context:
     def __init__(self, text: str, attributes: Sequence[str]):
         self.text = text
         self.attributes = list(attributes)
+
+
+@dataclass
+class _PreContext:
+    """Outcome of the retrieval stage, before context parsing.
+
+    Exactly one of the three fields is populated: raw document text, task-
+    supplied rows, or automatically retrieved records.
+    """
+
+    raw_text: str | None = None
+    rows: list[list[tuple[str, str]]] | None = None
+    retrieved: RetrievedContext | None = None
 
 
 def solve(

@@ -24,11 +24,14 @@ from ..datalake.table import Record, Table
 from ..llm.base import LanguageModel
 from ..prompting.templates import INSTANCE_RETRIEVAL, META_RETRIEVAL
 from .config import UniDMConfig
+from .plan import LLMRequest, Plan, drive
 from .serialization import numbered_instances
 from .tasks.base import Task, restrict_attributes
 from .types import PromptTrace
 
-_SCORE_LINE = re.compile(r"^\s*(\d+)\s*[:)]\s*(\d+)")
+#: ``index: score`` lines; scores may be integral ("3: 4") or decimal
+#: ("3: 4.5", "3: .5") — real models emit fractional relevance scores.
+_SCORE_LINE = re.compile(r"^\s*(\d+)\s*[:)]\s*(\d+(?:\.\d+)?|\.\d+)")
 
 
 @dataclass
@@ -59,13 +62,31 @@ class ContextRetriever:
         trace: PromptTrace | None = None,
     ) -> RetrievedContext:
         """Run meta-wise + instance-wise retrieval for ``task``."""
+        return drive(self.plan(task, rng, trace), self.llm)
+
+    def plan(
+        self,
+        task: Task,
+        rng: np.random.Generator,
+        trace: PromptTrace | None = None,
+    ) -> Plan:
+        """Sans-IO plan for both retrieval stages (see :mod:`repro.core.plan`).
+
+        All of the pipeline's own randomness (candidate pools, random-context
+        fallbacks) is drawn inside this plan, so executing tasks' retrieval
+        plans in submission order reproduces the sequential rng stream
+        exactly — this is what lets the serving engine stay bit-identical to
+        ``run_many``.
+        """
         table = task.table()
         if table is None or not task.needs_retrieval:
             return RetrievedContext()
 
-        helpful = self._select_attributes(task, table, rng, trace)
+        helpful = yield from self._attributes_plan(task, rng, trace)
         context_attributes = self._context_attribute_set(task, table, helpful)
-        records = self._select_records(task, table, context_attributes, rng, trace)
+        records = yield from self._records_plan(
+            task, table, context_attributes, rng, trace
+        )
         return RetrievedContext(
             records=records,
             attributes=context_attributes,
@@ -73,13 +94,12 @@ class ContextRetriever:
         )
 
     # --------------------------------------------------------- meta-wise stage
-    def _select_attributes(
+    def _attributes_plan(
         self,
         task: Task,
-        table: Table,
         rng: np.random.Generator,
         trace: PromptTrace | None,
-    ) -> list[str]:
+    ) -> Plan:
         candidates = task.candidate_attributes()
         if not candidates or self.config.n_meta_attributes == 0:
             return []
@@ -91,11 +111,11 @@ class ContextRetriever:
             query=task.query(),
             candidates=", ".join(candidates),
         )
-        completion = self.llm.complete(prompt, kind="p_rm")
+        text = yield LLMRequest(prompt, "p_rm")
         if trace is not None:
             trace.meta_retrieval = prompt
-            trace.meta_retrieval_output = completion.text
-        names = [part.strip() for part in completion.text.split(",")]
+            trace.meta_retrieval_output = text
+        names = [part.strip() for part in text.split(",")]
         helpful = restrict_attributes(names, candidates)
         if not helpful:
             helpful = sample_items(candidates, self.config.n_meta_attributes, rng=rng)
@@ -117,14 +137,14 @@ class ContextRetriever:
         return ordered
 
     # ------------------------------------------------------ instance-wise stage
-    def _select_records(
+    def _records_plan(
         self,
         task: Task,
         table: Table,
         attributes: list[str],
         rng: np.random.Generator,
         trace: PromptTrace | None,
-    ) -> list[Record]:
+    ) -> Plan:
         if self.config.top_k_instances == 0:
             return []
         exclude = {
@@ -145,11 +165,11 @@ class ContextRetriever:
             query=task.query(),
             instances=numbered_instances(pool, attributes),
         )
-        completion = self.llm.complete(prompt, kind="p_ri")
+        text = yield LLMRequest(prompt, "p_ri")
         if trace is not None:
             trace.instance_retrieval = prompt
-            trace.instance_retrieval_output = completion.text
-        scores = self._parse_scores(completion.text, len(pool))
+            trace.instance_retrieval_output = text
+        scores = self._parse_scores(text, len(pool))
         ranked = sorted(range(len(pool)), key=lambda i: (-scores[i], i))
         return [pool[i] for i in ranked[: self.config.top_k_instances]]
 

@@ -7,7 +7,13 @@ from .ablation import (
     ablation_rows,
     run_ablation,
 )
-from .harness import EvaluationResult, evaluate, evaluate_many, metric_for
+from .harness import (
+    EvaluationResult,
+    evaluate,
+    evaluate_many,
+    metric_for,
+    set_default_engine,
+)
 from .metrics import (
     ConfusionMatrix,
     accuracy,
@@ -32,6 +38,7 @@ __all__ = [
     "confusion",
     "evaluate",
     "evaluate_many",
+    "set_default_engine",
     "f1_score",
     "format_markdown_table",
     "format_table",

@@ -39,6 +39,21 @@ class DatasetMethod(Protocol):
 
 MethodLike = PerTaskMethod | DatasetMethod
 
+#: Engine configuration applied by :func:`evaluate` when the caller passes no
+#: explicit ``batch_size``/``workers`` (set via :func:`set_default_engine`,
+#: e.g. by the CLI's ``--engine`` flag).  ``None`` means per-task execution.
+_DEFAULT_ENGINE_CONFIG = None
+
+
+def set_default_engine(config) -> None:
+    """Install an :class:`~repro.serving.engine.EngineConfig` (or ``None``)
+    used by every subsequent :func:`evaluate` call that doesn't pass engine
+    options itself.  Lets ``python -m repro run-experiment --engine`` switch a
+    whole experiment to batched execution without threading flags through
+    every experiment module."""
+    global _DEFAULT_ENGINE_CONFIG
+    _DEFAULT_ENGINE_CONFIG = config
+
 
 @dataclass
 class EvaluationResult:
@@ -85,8 +100,15 @@ def evaluate(
     dataset: BenchmarkDataset,
     max_tasks: int | None = None,
     subset_seed: int = 0,
+    batch_size: int | None = None,
+    workers: int | None = None,
 ) -> EvaluationResult:
-    """Run ``method`` over ``dataset`` and compute the paper's metric."""
+    """Run ``method`` over ``dataset`` and compute the paper's metric.
+
+    ``batch_size``/``workers`` route a pipeline-backed per-task method through
+    the serving :class:`~repro.serving.engine.ExecutionEngine` instead of a
+    sequential loop, micro-batching its LLM calls across tasks.
+    """
     bench = dataset if max_tasks is None else dataset.subset(max_tasks, seed=subset_seed)
     metric_name, metric_fn = metric_for(bench.task_type)
 
@@ -99,7 +121,13 @@ def evaluate(
                 f"predictions for {len(bench.tasks)} tasks"
             )
     else:
-        predictions = [method.solve(task) for task in bench.tasks]
+        engine = _engine_for(batch_size, workers)
+        pipeline = _pipeline_of(method) if engine is not None else None
+        if pipeline is not None:
+            results = pipeline.run_many(bench.tasks, engine=engine)
+            predictions = [result.value for result in results]
+        else:
+            predictions = [method.solve(task) for task in bench.tasks]
     tokens_after, calls_after = _usage_of(method)
 
     score = metric_fn(predictions, bench.ground_truth)
@@ -131,6 +159,29 @@ def evaluate_many(
 ) -> list[EvaluationResult]:
     """Evaluate several methods on the same benchmark."""
     return [evaluate(method, dataset, max_tasks=max_tasks) for method in methods]
+
+
+def _engine_for(batch_size: int | None, workers: int | None):
+    """Build the engine implied by evaluate()'s options (or the global default)."""
+    from ..serving.engine import EngineConfig, ExecutionEngine
+
+    if batch_size is None and workers is None:
+        if _DEFAULT_ENGINE_CONFIG is None:
+            return None
+        return ExecutionEngine(_DEFAULT_ENGINE_CONFIG)
+    return ExecutionEngine(
+        EngineConfig(max_batch_size=batch_size or 8, workers=workers or 8)
+    )
+
+
+def _pipeline_of(method: Any):
+    """The engine-capable pipeline behind ``method``, if it has one."""
+    pipeline = getattr(method, "pipeline", None)
+    if pipeline is None and hasattr(method, "plan_retrieval"):
+        pipeline = method  # a bare UniDM passed directly
+    if pipeline is not None and hasattr(pipeline, "run_many"):
+        return pipeline
+    return None
 
 
 def _usage_of(method: Any) -> tuple[int, int]:

@@ -1,7 +1,7 @@
 """LLM substrate: interfaces, simulated models, knowledge, profiles, fine-tuning."""
 
 from .base import Completion, EchoLLM, LanguageModel, UsageDelta, UsageTracker
-from .cache import CachedLLM
+from .cache import CacheBackend, CachedLLM
 from .finetune import FineTuneReport, FineTuner, LabeledPair
 from .knowledge import Fact, WorldKnowledge
 from .profiles import DEFAULT_MODEL, MODEL_REGISTRY, ModelProfile, get_profile, list_models
@@ -9,6 +9,7 @@ from .simulated import SimulatedLLM
 from .tokenizer import DEFAULT_TOKENIZER, SimpleTokenizer, count_tokens
 
 __all__ = [
+    "CacheBackend",
     "CachedLLM",
     "Completion",
     "DEFAULT_MODEL",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from .tokenizer import DEFAULT_TOKENIZER, SimpleTokenizer
 
@@ -102,6 +103,18 @@ class LanguageModel(abc.ABC):
     def _complete_text(self, prompt: str) -> str:
         """Produce the completion text for ``prompt`` (implemented by subclasses)."""
 
+    def _record(self, prompt: str, text: str, kind: str) -> Completion:
+        """Build a :class:`Completion` for ``(prompt, text)`` and record usage."""
+        completion = Completion(
+            prompt=prompt,
+            text=text,
+            prompt_tokens=self.tokenizer.count(prompt),
+            completion_tokens=self.tokenizer.count(text),
+            model=self.name,
+        )
+        self.usage.record(completion, kind=kind)
+        return completion
+
     def complete(self, prompt: str, kind: str = "other") -> Completion:
         """Run one completion, recording token usage.
 
@@ -113,16 +126,20 @@ class LanguageModel(abc.ABC):
             A label for usage breakdown (e.g. ``"p_rm"`` or ``"answer"``);
             purely for accounting.
         """
-        text = self._complete_text(prompt)
-        completion = Completion(
-            prompt=prompt,
-            text=text,
-            prompt_tokens=self.tokenizer.count(prompt),
-            completion_tokens=self.tokenizer.count(text),
-            model=self.name,
-        )
-        self.usage.record(completion, kind=kind)
-        return completion
+        return self._record(prompt, self._complete_text(prompt), kind)
+
+    def complete_batch(
+        self, prompts: Sequence[str], kind: str = "other"
+    ) -> list[Completion]:
+        """Run a batch of same-kind completions, preserving input order.
+
+        The base implementation simply loops; backends that can amortise work
+        across a batch (the simulated model's per-unique-prompt memoisation, a
+        real API's batched endpoint) override it.  The serving layer's
+        :class:`~repro.serving.batcher.MicroBatcher` funnels coalesced
+        micro-batches through this entry point.
+        """
+        return [self.complete(prompt, kind=kind) for prompt in prompts]
 
     def reset_usage(self) -> None:
         self.usage.reset()

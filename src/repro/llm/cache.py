@@ -5,13 +5,31 @@ same metadata-retrieval prompt for every record of a column); caching them cuts
 cost and makes reruns deterministic.  The wrapper preserves the
 :class:`~repro.llm.base.LanguageModel` interface, so it can be dropped in front
 of the simulated model or a real API client alike.
+
+The wrapper is thread-safe: the serving engine's micro-batcher executes
+batches on worker threads, so lookups, inner-model calls and usage recording
+all happen under one re-entrant lock.  An optional *persistent* backend (see
+:class:`~repro.serving.cache.PersistentCache`) spills completions to disk so
+that a warmed cache survives across processes; any object with
+``get(prompt) -> str | None`` and ``put(prompt, text)`` works.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from typing import Protocol, Sequence, runtime_checkable
 
 from .base import Completion, LanguageModel
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """Duck type of a persistent completion store."""
+
+    def get(self, prompt: str) -> str | None: ...
+
+    def put(self, prompt: str, text: str) -> None: ...
 
 
 class CachedLLM(LanguageModel):
@@ -22,35 +40,132 @@ class CachedLLM(LanguageModel):
     "tokens billed" (inner) and "tokens requested" (wrapper).
     """
 
-    def __init__(self, inner: LanguageModel, max_entries: int = 10_000):
+    def __init__(
+        self,
+        inner: LanguageModel,
+        max_entries: int = 10_000,
+        persistent: CacheBackend | None = None,
+    ):
         super().__init__(tokenizer=inner.tokenizer)
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.inner = inner
         self.max_entries = max_entries
+        self.persistent = persistent
         self.name = f"cached({inner.name})"
         self.hits = 0
         self.misses = 0
+        self.persistent_hits = 0
         self._cache: OrderedDict[str, str] = OrderedDict()
+        # Re-entrant so that complete() -> _lookup()/_store() nests safely and
+        # the whole lookup-or-compute is one critical section: concurrent
+        # callers never compute the same prompt twice.  The lock is held
+        # across the inner-model call, so traffic through one wrapper is
+        # serialized — exact-once semantics traded against backend
+        # parallelism, which the offline simulated backend cannot use anyway.
+        self._lock = threading.RLock()
 
-    def _complete_text(self, prompt: str) -> str:
+    # ------------------------------------------------------------------ lookup
+    def _lookup(self, prompt: str) -> str | None:
+        """Memory then persistent lookup; updates hit/miss counters."""
         if prompt in self._cache:
             self.hits += 1
             self._cache.move_to_end(prompt)
             return self._cache[prompt]
+        if self.persistent is not None:
+            text = self.persistent.get(prompt)
+            if text is not None:
+                self.hits += 1
+                self.persistent_hits += 1
+                self._remember(prompt, text)
+                return text
         self.misses += 1
-        completion: Completion = self.inner.complete(prompt)
-        self._cache[prompt] = completion.text
+        return None
+
+    def _remember(self, prompt: str, text: str) -> None:
+        self._cache[prompt] = text
+        self._cache.move_to_end(prompt)
         if len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
-        return completion.text
 
+    def _store(self, prompt: str, text: str) -> None:
+        self._remember(prompt, text)
+        if self.persistent is not None:
+            self.persistent.put(prompt, text)
+
+    # --------------------------------------------------------------- interface
+    def _complete_text(self, prompt: str) -> str:
+        # Retained for the LanguageModel contract; ``kind`` is unavailable at
+        # this layer so the overridden complete()/complete_batch() are the
+        # real entry points.
+        with self._lock:
+            text = self._lookup(prompt)
+            if text is None:
+                text = self.inner.complete(prompt).text
+                self._store(prompt, text)
+            return text
+
+    def complete(self, prompt: str, kind: str = "other") -> Completion:
+        with self._lock:
+            text = self._lookup(prompt)
+            if text is None:
+                text = self.inner.complete(prompt, kind=kind).text
+                self._store(prompt, text)
+            return self._record(prompt, text, kind)
+
+    def complete_batch(
+        self, prompts: Sequence[str], kind: str = "other"
+    ) -> list[Completion]:
+        """Serve a micro-batch, forwarding only first-seen misses to the inner model.
+
+        Mirrors the sequential semantics exactly: a prompt repeated within one
+        batch is a miss on first occurrence and a hit afterwards, so usage
+        accounting is identical whether the prompts arrive one by one or
+        coalesced.
+        """
+        with self._lock:
+            texts: list[str | None] = []
+            miss_order: list[str] = []
+            pending: set[str] = set()
+            for prompt in prompts:
+                if prompt in pending:
+                    # Served by the in-flight miss ahead of it in this batch —
+                    # sequentially this occurrence would have been a hit.
+                    self.hits += 1
+                    texts.append(None)
+                    continue
+                text = self._lookup(prompt)
+                texts.append(text)
+                if text is None:
+                    pending.add(prompt)
+                    miss_order.append(prompt)
+            fetched_texts: dict[str, str] = {}
+            if miss_order:
+                fetched = self.inner.complete_batch(miss_order, kind=kind)
+                for prompt, completion in zip(miss_order, fetched):
+                    fetched_texts[prompt] = completion.text
+                    self._store(prompt, completion.text)
+            # Resolve misses from the fetched results, not the LRU: storing a
+            # large batch can already have evicted its own earliest entries.
+            return [
+                self._record(
+                    prompt,
+                    text if text is not None else fetched_texts[prompt],
+                    kind,
+                )
+                for prompt, text in zip(prompts, texts)
+            ]
+
+    # --------------------------------------------------------------- statistics
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
+        """Drop the in-memory cache and counters (the persistent store survives)."""
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
+            self.persistent_hits = 0

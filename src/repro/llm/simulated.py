@@ -55,6 +55,24 @@ class SimulatedLLM(LanguageModel):
         self._engine = AnswerEngine(self.profile, self.knowledge, self.rng)
 
     # ------------------------------------------------------------------ routing
+    def complete_batch(self, prompts, kind: str = "other"):
+        """Vectorized batch entry point: interpret each unique prompt once.
+
+        The micro-batcher coalesces identical prompts from concurrent tasks
+        (e.g. the same metadata-retrieval prompt for every record of one
+        column); computing per *unique* prompt amortises the simulated model's
+        parsing and knowledge lookups across the whole batch.  Usage is still
+        recorded per requested prompt, mirroring what a billed API would
+        charge for a batched endpoint.
+        """
+        memo: dict[str, str] = {}
+        completions = []
+        for prompt in prompts:
+            if prompt not in memo:
+                memo[prompt] = self._complete_text(prompt)
+            completions.append(self._record(prompt, memo[prompt], kind))
+        return completions
+
     def _complete_text(self, prompt: str) -> str:
         kind = classify(prompt)
         if kind is PromptKind.META_RETRIEVAL:

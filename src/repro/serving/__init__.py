@@ -1,0 +1,33 @@
+"""Batched async serving layer: execution engine, micro-batcher, persistence.
+
+The pipeline modules under :mod:`repro.core` know how to solve *one* task;
+this package turns them into a serving system: the
+:class:`~repro.serving.engine.ExecutionEngine` runs many tasks concurrently
+with bounded workers, the :class:`~repro.serving.batcher.MicroBatcher`
+coalesces their same-kind prompts into batched LLM calls, the
+:class:`~repro.serving.cache.PersistentCache` makes warmed reruns near-free
+across processes, and :mod:`~repro.serving.service` answers JSON task
+requests over stdin or a socket.
+"""
+
+from .batcher import BatcherStats, MicroBatcher
+from .cache import PersistentCache, prompt_key
+from .engine import EngineConfig, EngineReport, ExecutionEngine
+from .service import ServingService, build_service, build_task
+from .stages import OrderedGate, drive_async, execute_task
+
+__all__ = [
+    "BatcherStats",
+    "EngineConfig",
+    "EngineReport",
+    "ExecutionEngine",
+    "MicroBatcher",
+    "OrderedGate",
+    "PersistentCache",
+    "ServingService",
+    "build_service",
+    "build_task",
+    "drive_async",
+    "execute_task",
+    "prompt_key",
+]

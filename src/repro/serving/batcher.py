@@ -1,0 +1,160 @@
+"""Micro-batching scheduler for LLM calls.
+
+Concurrent task executions each need small, latency-sensitive LLM calls.  The
+:class:`MicroBatcher` sits between the async task coroutines and the
+synchronous :class:`~repro.llm.base.LanguageModel`: coroutines ``submit()``
+individual prompts and await their completions, while the batcher coalesces
+pending **same-kind** prompts into one ``complete_batch`` call.
+
+A batch is dispatched when the first of three triggers fires:
+
+* **size** — a kind accumulates ``max_batch_size`` pending prompts;
+* **idle** — the event loop drains its ready queue without any new
+  submission arriving (every in-flight task is blocked), so waiting longer
+  cannot grow the batch;
+* **timeout** — ``max_wait`` seconds elapsed since the oldest pending prompt
+  (the formal progress guarantee behind the idle heuristic).
+
+Batches execute on a worker thread pool so the event loop stays responsive;
+bounding that pool (``llm_threads``) is the backpressure knob towards the
+backend, just as the engine's worker semaphore bounds in-flight tasks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from functools import partial
+
+from ..llm.base import Completion, LanguageModel
+
+
+@dataclass
+class _Request:
+    prompt: str
+    kind: str
+    future: asyncio.Future
+
+
+@dataclass
+class BatcherStats:
+    """Counters describing how well coalescing worked during one run."""
+
+    requests: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    def note(self, kind: str, size: int) -> None:
+        self.requests += size
+        self.batches += 1
+        self.max_batch = max(self.max_batch, size)
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + size
+
+
+class MicroBatcher:
+    """Coalesces concurrent same-kind prompts into batched LLM calls.
+
+    Must be used from a single running event loop; batch execution happens on
+    ``executor`` (falls back to the loop's default executor when ``None``).
+    """
+
+    def __init__(
+        self,
+        llm: LanguageModel,
+        max_batch_size: int = 8,
+        max_wait: float = 0.002,
+        executor: Executor | None = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self.llm = llm
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self.stats = BatcherStats()
+        self._executor = executor
+        self._pending: dict[str, list[_Request]] = {}
+        self._generation = 0
+        self._timer: asyncio.TimerHandle | None = None
+
+    # ----------------------------------------------------------------- client
+    async def submit(self, prompt: str, kind: str = "other") -> Completion:
+        """Enqueue one prompt and await its completion."""
+        loop = asyncio.get_running_loop()
+        request = _Request(prompt, kind, loop.create_future())
+        queue = self._pending.setdefault(kind, [])
+        queue.append(request)
+        self._generation += 1
+        if len(queue) >= self.max_batch_size:
+            self._flush_kind(loop, kind)
+        else:
+            self._arm(loop)
+        return await request.future
+
+    # ----------------------------------------------------------------- triggers
+    def _arm(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._timer is None:
+            self._timer = loop.call_later(self.max_wait, partial(self._flush_all, loop))
+        # Two call_soon hops let every currently-runnable coroutine advance to
+        # its next await; if no new submission arrived by then, nothing can
+        # grow the batch and waiting out max_wait would be pure latency.
+        loop.call_soon(self._idle_check, loop, self._generation, 0)
+
+    def _idle_check(
+        self, loop: asyncio.AbstractEventLoop, generation: int, phase: int
+    ) -> None:
+        if generation != self._generation or not self._pending:
+            return  # superseded by a newer submission, or nothing to do
+        if phase == 0:
+            loop.call_soon(self._idle_check, loop, generation, 1)
+        else:
+            self._flush_all(loop)
+
+    # ----------------------------------------------------------------- flushing
+    def _flush_all(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._cancel_timer()
+        for kind in list(self._pending):
+            while self._pending.get(kind):
+                self._flush_kind(loop, kind)
+
+    def _flush_kind(self, loop: asyncio.AbstractEventLoop, kind: str) -> None:
+        queue = self._pending.get(kind, [])
+        batch, rest = queue[: self.max_batch_size], queue[self.max_batch_size :]
+        if rest:
+            self._pending[kind] = rest
+        else:
+            self._pending.pop(kind, None)
+            if not self._pending:
+                self._cancel_timer()
+        if batch:
+            self.stats.note(kind, len(batch))
+            loop.create_task(self._execute(loop, kind, batch))
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    async def _execute(
+        self, loop: asyncio.AbstractEventLoop, kind: str, batch: list[_Request]
+    ) -> None:
+        prompts = [request.prompt for request in batch]
+        try:
+            completions = await loop.run_in_executor(
+                self._executor, partial(self.llm.complete_batch, prompts, kind)
+            )
+        except Exception as exc:  # propagate to every waiter of this batch
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        for request, completion in zip(batch, completions):
+            if not request.future.done():
+                request.future.set_result(completion)

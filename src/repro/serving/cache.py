@@ -1,0 +1,123 @@
+"""Persistent completion cache shared across processes.
+
+The in-memory LRU of :class:`~repro.llm.cache.CachedLLM` dies with the
+process; re-running an experiment or restarting the service re-bills every
+prompt.  :class:`PersistentCache` spills completions to append-only JSONL
+shard files keyed by prompt hash, so a warmed cache makes reruns near-free:
+
+* **append-only** — a put is one ``O_APPEND`` write of one JSON line; there is
+  no rewrite-in-place, so a crash can at worst truncate the final line (which
+  the loader skips);
+* **sharded** — keys are spread over ``shards`` files by hash prefix, keeping
+  individual files small and letting several processes warm disjoint shards
+  with less write contention;
+* **last-wins** — re-putting a prompt appends a new line; on load the latest
+  line for a key is the value served.
+
+The class satisfies the ``CacheBackend`` protocol of
+:class:`~repro.llm.cache.CachedLLM` (``get``/``put``) and is thread-safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+
+def prompt_key(prompt: str) -> str:
+    """Stable content key for a prompt (SHA-256 hex digest)."""
+    return hashlib.sha256(prompt.encode("utf-8")).hexdigest()
+
+
+class PersistentCache:
+    """Disk-backed prompt → completion store (JSONL shard files).
+
+    Parameters
+    ----------
+    path:
+        Directory holding the shard files (created if missing).
+    shards:
+        Number of shard files keys are spread over.
+    """
+
+    def __init__(self, path: str | os.PathLike, shards: int = 16):
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        self.path = Path(path)
+        self.shards = shards
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._entries: dict[str, str] = {}
+        self._load()
+
+    # -------------------------------------------------------------------- io
+    def _shard_file(self, key: str) -> Path:
+        shard = int(key[:8], 16) % self.shards
+        return self.path / f"shard-{shard:02d}.jsonl"
+
+    def _load(self) -> None:
+        for shard_path in sorted(self.path.glob("shard-*.jsonl")):
+            with open(shard_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn final line from a crashed writer
+                    key, text = entry.get("key"), entry.get("text")
+                    if isinstance(key, str) and isinstance(text, str):
+                        self._entries[key] = text
+
+    def _append(self, key: str, text: str) -> None:
+        line = json.dumps({"key": key, "text": text}, ensure_ascii=False)
+        with open(self._shard_file(key), "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    # ------------------------------------------------------------ cache API
+    def get(self, prompt: str) -> str | None:
+        with self._lock:
+            return self._entries.get(prompt_key(prompt))
+
+    def put(self, prompt: str, text: str) -> None:
+        key = prompt_key(prompt)
+        with self._lock:
+            if self._entries.get(key) == text:
+                return  # already durable; skip the duplicate append
+            self._entries[key] = text
+            self._append(key, text)
+
+    # ---------------------------------------------------------- maintenance
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, prompt: str) -> bool:
+        return self.get(prompt) is not None
+
+    def clear(self) -> None:
+        """Delete all shard files and forget every entry."""
+        with self._lock:
+            self._entries.clear()
+            for shard_path in self.path.glob("shard-*.jsonl"):
+                shard_path.unlink()
+
+    def compact(self) -> None:
+        """Rewrite shards with one line per live key (drops superseded lines)."""
+        with self._lock:
+            by_shard: dict[Path, list[tuple[str, str]]] = {}
+            for key, text in self._entries.items():
+                by_shard.setdefault(self._shard_file(key), []).append((key, text))
+            for shard_path in self.path.glob("shard-*.jsonl"):
+                shard_path.unlink()
+            for shard_path, entries in by_shard.items():
+                with open(shard_path, "w", encoding="utf-8") as handle:
+                    for key, text in entries:
+                        handle.write(
+                            json.dumps({"key": key, "text": text}, ensure_ascii=False)
+                            + "\n"
+                        )

@@ -1,0 +1,256 @@
+"""JSON service front-end over the execution engine.
+
+Speaks newline-delimited JSON: one request object per line, one response
+object per line, in request order.  A blank line (or EOF) closes the current
+batch and executes it through the engine, so piping a file of requests gets
+full micro-batching while an interactive session can flush at will:
+
+.. code-block:: console
+
+   $ printf '%s\n' \
+       '{"id": 1, "type": "transformation", "value": "19990415",
+         "examples": [["20000101", "2000-01-01"]]}' \
+     | python -m repro serve
+
+Request schema (``type`` selects the task):
+
+* ``imputation`` — ``rows`` (list of flat objects), ``target`` (object),
+  ``attribute``; optional ``table_name``, ``primary_key`` (defaults to the
+  first column).
+* ``transformation`` — ``value``, ``examples`` (list of ``[input, output]``).
+* ``extraction`` — ``document``, ``attribute``.
+* ``table_qa`` — ``rows``, ``question``; optional ``table_name``,
+  ``primary_key``.
+
+Responses carry ``{"id", "ok", "answer", "raw", "tokens", "calls"}`` on
+success and ``{"id", "ok": false, "error"}`` on a malformed request; a bad
+request never aborts the batch.
+
+``serve_tcp`` exposes the same line protocol on a socket; each connection's
+batches run on a worker thread so the accept loop stays responsive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Any, IO, Iterable
+
+from ..core.config import UniDMConfig
+from ..core.pipeline import UniDM
+from ..core.tasks.base import Task
+from ..core.tasks.imputation import ImputationTask
+from ..core.tasks.information_extraction import InformationExtractionTask
+from ..core.tasks.table_qa import TableQATask
+from ..core.tasks.transformation import TransformationTask
+from ..datalake.schema import Attribute
+from ..datalake.table import Record, Table
+from ..llm.base import LanguageModel
+from ..llm.cache import CachedLLM
+from ..llm.simulated import SimulatedLLM
+from .cache import PersistentCache
+from .engine import EngineConfig, ExecutionEngine
+
+
+@dataclass(frozen=True)
+class InvalidRequest:
+    """Out-of-band marker for a line that never parsed into a request object.
+
+    Kept separate from request dicts so client payloads can carry any keys
+    they like without colliding with the error channel.
+    """
+
+    error: str
+
+
+def _build_table(request: dict, default_name: str) -> Table:
+    rows = request.get("rows")
+    if not isinstance(rows, list) or not rows or not isinstance(rows[0], dict):
+        raise ValueError("'rows' must be a non-empty list of objects")
+    names = list(rows[0].keys())
+    primary_key = request.get("primary_key", names[0])
+    if primary_key not in names:
+        raise ValueError(f"primary_key {primary_key!r} not among columns {names}")
+    schema = [Attribute(name, primary_key=(name == primary_key)) for name in names]
+    return Table(str(request.get("table_name", default_name)), schema, rows)
+
+
+def build_task(request: dict) -> Task:
+    """Translate one JSON request object into a pipeline task."""
+    task_type = request.get("type")
+    if task_type == "imputation":
+        table = _build_table(request, "request")
+        target = request.get("target")
+        if not isinstance(target, dict):
+            raise ValueError("'target' must be an object of known attribute values")
+        attribute = request.get("attribute")
+        if not attribute:
+            raise ValueError("'attribute' is required")
+        record = Record(table.schema, {k: v for k, v in target.items() if k in table.schema})
+        return ImputationTask(table, record, str(attribute))
+    if task_type == "transformation":
+        examples = request.get("examples")
+        if not isinstance(examples, list) or not examples:
+            raise ValueError("'examples' must be a non-empty list of [input, output] pairs")
+        pairs = [(str(pair[0]), str(pair[1])) for pair in examples]
+        return TransformationTask(str(request.get("value", "")), pairs)
+    if task_type == "extraction":
+        return InformationExtractionTask(
+            str(request.get("document", "")), str(request.get("attribute", ""))
+        )
+    if task_type == "table_qa":
+        table = _build_table(request, "request")
+        return TableQATask(table, str(request.get("question", "")))
+    raise ValueError(
+        f"unknown task type {task_type!r}; expected one of "
+        "imputation, transformation, extraction, table_qa"
+    )
+
+
+class ServingService:
+    """Answers JSON task requests through the execution engine."""
+
+    def __init__(self, pipeline: UniDM, engine: ExecutionEngine | None = None):
+        self.pipeline = pipeline
+        self.engine = engine or ExecutionEngine()
+        self.requests_served = 0
+        # One batch at a time: the pipeline's rng and the engine's report are
+        # shared state, so concurrent TCP connections take turns here (their
+        # requests still micro-batch *within* each flush).
+        self._batch_lock = threading.Lock()
+
+    def handle_batch(self, requests: Iterable[dict]) -> list[dict]:
+        """Execute a batch of request objects; responses keep request order."""
+        with self._batch_lock:
+            return self._handle_batch_locked(list(requests))
+
+    def _handle_batch_locked(self, requests: list) -> list[dict]:
+        tasks: list[Task] = []
+        slots: list[tuple[int, Any]] = []  # (request position, request id)
+        responses: list[dict | None] = [None] * len(requests)
+        for position, request in enumerate(requests):
+            request_id = request.get("id") if isinstance(request, dict) else None
+            try:
+                if isinstance(request, InvalidRequest):
+                    raise ValueError(request.error)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                tasks.append(build_task(request))
+                slots.append((position, request_id))
+            except (ValueError, KeyError, TypeError, IndexError) as exc:
+                responses[position] = {"id": request_id, "ok": False, "error": str(exc)}
+        if tasks:
+            results = self.pipeline.run_many(tasks, engine=self.engine)
+            for (position, request_id), result in zip(slots, results):
+                responses[position] = {
+                    "id": request_id,
+                    "ok": True,
+                    "answer": result.value,
+                    "raw": result.raw_answer,
+                    "tokens": result.total_tokens,
+                    "calls": result.usage.calls if result.usage else 0,
+                }
+        self.requests_served += len(requests)
+        return [response for response in responses if response is not None]
+
+    def handle_request(self, request: dict) -> dict:
+        return self.handle_batch([request])[0]
+
+    # ----------------------------------------------------------------- fronts
+    def serve_stream(self, in_stream: IO[str], out_stream: IO[str]) -> int:
+        """Blocking request loop over text streams (stdin/stdout by default).
+
+        Blank lines flush the accumulated batch through the engine; EOF
+        flushes and returns the number of requests served.
+        """
+        batch: list[dict] = []
+
+        def flush() -> None:
+            if not batch:
+                return
+            for response in self.handle_batch(batch):
+                out_stream.write(json.dumps(response, ensure_ascii=False) + "\n")
+            out_stream.flush()
+            batch.clear()
+
+        for line in in_stream:
+            line = line.strip()
+            if not line:
+                flush()
+                continue
+            try:
+                batch.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                batch.append(InvalidRequest(f"bad JSON: {exc}"))
+        flush()
+        return self.requests_served
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 8765) -> None:
+        """Socket server speaking the same line protocol, one batch per blank line."""
+        server = await self.start_tcp(host, port)
+        async with server:
+            await server.serve_forever()
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.AbstractServer:
+        """Bind the socket server and return it without blocking (for embedding)."""
+        loop = asyncio.get_running_loop()
+
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            batch: list[dict] = []
+
+            async def flush() -> None:
+                if not batch:
+                    return
+                # handle_batch spins its own event loop (engine.run), so it
+                # must not run on this loop's thread.
+                responses = await loop.run_in_executor(None, self.handle_batch, list(batch))
+                batch.clear()
+                for response in responses:
+                    writer.write((json.dumps(response, ensure_ascii=False) + "\n").encode())
+                await writer.drain()
+
+            try:
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    text = line.decode().strip()
+                    if not text:
+                        await flush()
+                        continue
+                    try:
+                        batch.append(json.loads(text))
+                    except json.JSONDecodeError as exc:
+                        batch.append(InvalidRequest(f"bad JSON: {exc}"))
+                await flush()
+            finally:
+                writer.close()
+
+        return await asyncio.start_server(handle, host, port)
+
+
+def build_service(
+    model: str | None = None,
+    seed: int = 0,
+    cache_dir: str | None = None,
+    batch_size: int = 8,
+    workers: int = 8,
+    knowledge=None,
+    llm: LanguageModel | None = None,
+) -> ServingService:
+    """Assemble the default serving stack: simulated LLM → cache → engine."""
+    if llm is None:
+        llm = SimulatedLLM(**({"profile": model} if model else {}), knowledge=knowledge, seed=seed)
+    persistent = PersistentCache(cache_dir) if cache_dir else None
+    cached = CachedLLM(llm, persistent=persistent)
+    pipeline = UniDM(cached, UniDMConfig.full(seed=seed))
+    engine = ExecutionEngine(EngineConfig(max_batch_size=batch_size, workers=workers))
+    return ServingService(pipeline, engine)
+
+
+def main_stdin(service: ServingService) -> int:  # pragma: no cover - thin wrapper
+    service.serve_stream(sys.stdin, sys.stdout)
+    return 0

@@ -1,0 +1,107 @@
+"""Awaitable execution of one task through the pipeline's plan stages.
+
+:func:`execute_task` is the async twin of :meth:`repro.core.pipeline.UniDM.run`:
+it walks the *same* sans-IO plan generators (see :mod:`repro.core.plan`) the
+sync path uses, but satisfies each :class:`~repro.core.plan.LLMRequest` by
+awaiting the micro-batcher, so same-kind prompts from concurrent tasks
+coalesce into batched LLM calls.
+
+Determinism: the retrieval stage is the only one that draws from the
+pipeline's rng, and candidate pools depend on the draw order.  Tasks therefore
+pass through an :class:`OrderedGate` so their retrieval plans execute in
+submission order — the rng stream (and hence every prompt) is identical to a
+sequential ``run_many``, which is what makes a warmed cache bit-reproducible
+regardless of concurrency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Any, Awaitable, Callable
+
+from ..core.plan import LLMRequest, Plan
+from ..core.types import ManipulationResult, PromptTrace
+from ..llm.base import UsageTracker
+from .batcher import MicroBatcher
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.pipeline import UniDM
+    from ..core.tasks.base import Task
+
+
+async def drive_async(
+    plan: Plan, call: Callable[[LLMRequest], Awaitable[str]]
+) -> Any:
+    """Run a plan to completion, satisfying each request via ``await call(...)``."""
+    try:
+        request = next(plan)
+        while True:
+            text = await call(request)
+            request = plan.send(text)
+    except StopIteration as stop:
+        return stop.value
+
+
+class OrderedGate:
+    """Admits task index 0, 1, 2, ... strictly in order.
+
+    The holder runs its critical section (the rng-consuming retrieval stage),
+    then releases to admit the next index.  Indices must be acquired by
+    exactly the integers 0..n-1.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._waiters: dict[int, asyncio.Future] = {}
+
+    async def acquire(self, index: int) -> None:
+        if index == self._next:
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._waiters[index] = future
+        await future
+
+    def release(self, index: int) -> None:
+        if index != self._next:  # defensive: out-of-protocol release
+            return
+        self._next += 1
+        future = self._waiters.pop(self._next, None)
+        if future is not None and not future.done():
+            future.set_result(None)
+
+
+async def execute_task(
+    pipeline: "UniDM",
+    task: "Task",
+    index: int,
+    batcher: MicroBatcher,
+    gate: OrderedGate,
+) -> ManipulationResult:
+    """Run Algorithm 1 for one task with micro-batched LLM calls.
+
+    Per-task usage is accumulated on a private tracker (the shared tracker of
+    ``pipeline.llm`` keeps aggregating inside ``complete_batch``), because
+    with interleaved tasks the sequential snapshot/delta trick would attribute
+    other tasks' tokens to this query.
+    """
+    trace = PromptTrace()
+    tracker = UsageTracker()
+
+    async def call(request: LLMRequest) -> str:
+        completion = await batcher.submit(request.prompt, request.kind)
+        tracker.record(completion, kind=request.kind)
+        return completion.text
+
+    await gate.acquire(index)
+    try:
+        pre = await drive_async(pipeline.plan_retrieval(task, trace), call)
+    finally:
+        gate.release(index)
+
+    context = await drive_async(pipeline.plan_context(pre, trace), call)
+    target = await drive_async(pipeline.plan_target(task, context.text, trace), call)
+    answer_text = await call(LLMRequest(target.text, "answer"))
+    trace.answer = answer_text
+
+    usage = tracker.delta_since((0, 0, 0))
+    return pipeline.finish(task, context, answer_text, trace, usage)

@@ -66,6 +66,25 @@ def test_score_parser_handles_malformed_lines():
     assert scores == [3.0, 1.0, 0.0]
 
 
+def test_score_parser_accepts_decimal_scores():
+    scores = ContextRetriever._parse_scores("1: 4.5\n2: 2.25\n3) 0.75", 3)
+    assert scores == [4.5, 2.25, 0.75]
+
+
+def test_score_parser_accepts_leading_decimal_point():
+    scores = ContextRetriever._parse_scores("1: .5\n2: .25", 2)
+    assert scores == [0.5, 0.25]
+
+
+def test_score_parser_ranks_by_fractional_scores(city_table):
+    # Decimal scores must actually order the pool: "2" outranks "1".
+    llm = EchoLLM(reply="1: 1.25\n2: 2.75")
+    config = UniDMConfig.full(candidate_sample_size=2, top_k_instances=1)
+    retriever = ContextRetriever(llm, config)
+    context = retriever.retrieve(make_task(city_table), np.random.default_rng(0))
+    assert len(context.records) == 1
+
+
 def test_no_table_task_yields_empty_context(city_llm):
     from repro.core import TransformationTask
 

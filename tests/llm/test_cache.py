@@ -1,8 +1,11 @@
 """Unit tests for the caching LLM wrapper."""
 
+from concurrent.futures import ThreadPoolExecutor
+
 import pytest
 
 from repro.llm import CachedLLM, EchoLLM
+from repro.serving import PersistentCache
 
 
 def test_cache_hits_do_not_invoke_inner_model():
@@ -44,3 +47,113 @@ def test_cache_validates_max_entries():
 def test_cache_name_mentions_inner_model():
     cached = CachedLLM(EchoLLM())
     assert "echo" in cached.name
+
+
+def test_eviction_is_lru_not_fifo():
+    inner = EchoLLM(reply="x")
+    cached = CachedLLM(inner, max_entries=2)
+    cached.complete("a")
+    cached.complete("b")
+    cached.complete("a")  # refresh "a": "b" is now least recently used
+    cached.complete("c")  # evicts "b"
+    cached.complete("a")  # still cached
+    assert cached.hits == 2
+    cached.complete("b")  # evicted: must hit the inner model again
+    assert inner.usage.calls == 4  # a, b, c, b
+
+
+def test_hit_rate_over_mixed_traffic():
+    cached = CachedLLM(EchoLLM(reply="x"))
+    assert cached.hit_rate == 0.0
+    for prompt in ["a", "b", "a", "a", "b", "c"]:
+        cached.complete(prompt)
+    assert cached.hits == 3 and cached.misses == 3
+    assert cached.hit_rate == pytest.approx(0.5)
+
+
+def test_kind_is_forwarded_to_inner_model():
+    inner = EchoLLM(reply="x")
+    cached = CachedLLM(inner)
+    cached.complete("p", kind="p_rm")
+    cached.complete("p", kind="p_rm")  # hit: inner untouched
+    cached.complete("q", kind="answer")
+    assert set(inner.usage.per_prompt_kind) == {"p_rm", "answer"}
+    assert set(cached.usage.per_prompt_kind) == {"p_rm", "answer"}
+    assert cached.usage.per_prompt_kind["p_rm"] > inner.usage.per_prompt_kind["p_rm"]
+
+
+def test_complete_batch_deduplicates_within_batch():
+    inner = EchoLLM(reply="x")
+    cached = CachedLLM(inner)
+    completions = cached.complete_batch(["a", "b", "a", "a"], kind="p_dp")
+    assert [c.prompt for c in completions] == ["a", "b", "a", "a"]
+    assert inner.usage.calls == 2  # "a" computed once, "b" once
+    # Sequential semantics: first occurrences miss, repeats hit.
+    assert cached.misses == 2 and cached.hits == 2
+    assert cached.usage.calls == 4
+    assert inner.usage.per_prompt_kind == {"p_dp": inner.usage.total_tokens}
+
+
+def test_complete_batch_larger_than_cache_capacity():
+    # A batch whose misses overflow the LRU must still resolve every slot
+    # (regression: early entries were read back from the cache after their
+    # own batch had evicted them).
+    inner = EchoLLM(reply="x")
+    cached = CachedLLM(inner, max_entries=2)
+    completions = cached.complete_batch(["a", "b", "c", "a"], kind="p_dp")
+    assert [c.prompt for c in completions] == ["a", "b", "c", "a"]
+    assert all(c.text == "x" for c in completions)
+    assert inner.usage.calls == 3  # a, b, c computed once each
+
+
+def test_complete_batch_mixes_cached_and_fresh_prompts():
+    inner = EchoLLM(reply="x")
+    cached = CachedLLM(inner)
+    cached.complete("a")
+    completions = cached.complete_batch(["a", "b"], kind="answer")
+    assert len(completions) == 2
+    assert inner.usage.calls == 2
+    assert cached.hits == 1 and cached.misses == 2
+
+
+def test_thread_safety_under_concurrent_completions():
+    inner = EchoLLM(reply="x")
+    cached = CachedLLM(inner)
+    prompts = [f"p{i % 10}" for i in range(200)]
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        list(pool.map(cached.complete, prompts))
+    # The critical section spans lookup + compute, so each unique prompt hits
+    # the inner model exactly once and the counters stay consistent.
+    assert inner.usage.calls == 10
+    assert cached.misses == 10
+    assert cached.hits == 190
+    assert cached.usage.calls == 200
+
+
+def test_persistent_backend_survives_new_wrapper(tmp_path):
+    store = PersistentCache(tmp_path / "cache")
+    first_inner = EchoLLM(reply="pong")
+    first = CachedLLM(first_inner, persistent=store)
+    first.complete("hello")
+    assert first_inner.usage.calls == 1
+
+    # A fresh wrapper + fresh inner model (as after a process restart) is
+    # served entirely from disk.
+    second_inner = EchoLLM(reply="pong")
+    second = CachedLLM(second_inner, persistent=PersistentCache(tmp_path / "cache"))
+    completion = second.complete("hello")
+    assert completion.text == "pong"
+    assert second_inner.usage.calls == 0
+    assert second.hits == 1 and second.persistent_hits == 1
+
+
+def test_clear_keeps_persistent_store(tmp_path):
+    store = PersistentCache(tmp_path / "cache")
+    inner = EchoLLM(reply="x")
+    cached = CachedLLM(inner, persistent=store)
+    cached.complete("a")
+    cached.clear()
+    assert cached.hits == 0 and cached.misses == 0 and cached.persistent_hits == 0
+    cached.complete("a")  # memory cleared, but the disk store still has it
+    assert inner.usage.calls == 1
+    assert cached.persistent_hits == 1

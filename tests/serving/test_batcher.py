@@ -1,0 +1,142 @@
+"""Unit tests for the micro-batching scheduler."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.llm import EchoLLM
+from repro.serving import MicroBatcher
+
+
+class RecordingLLM(EchoLLM):
+    """Echo model that records every batch it executes."""
+
+    def __init__(self, reply: str = "ok", delay: float = 0.0):
+        super().__init__(reply=reply)
+        self.batches: list[tuple[str, list[str]]] = []
+        self.delay = delay
+
+    def complete_batch(self, prompts, kind="other"):
+        if self.delay:
+            time.sleep(self.delay)
+        self.batches.append((kind, list(prompts)))
+        return super().complete_batch(prompts, kind=kind)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_size_trigger_coalesces_full_batches():
+    llm = RecordingLLM()
+
+    async def scenario():
+        batcher = MicroBatcher(llm, max_batch_size=4, max_wait=10.0)
+        return await asyncio.gather(
+            *(batcher.submit(f"p{i}", "answer") for i in range(8))
+        )
+
+    completions = run(scenario())
+    assert [c.prompt for c in completions] == [f"p{i}" for i in range(8)]
+    assert all(c.text == "ok" for c in completions)
+    assert [len(prompts) for _, prompts in llm.batches] == [4, 4]
+
+
+def test_idle_trigger_flushes_partial_batch_without_waiting():
+    llm = RecordingLLM()
+
+    async def scenario():
+        batcher = MicroBatcher(llm, max_batch_size=100, max_wait=30.0)
+        return await asyncio.gather(*(batcher.submit(f"p{i}") for i in range(3)))
+
+    started = time.perf_counter()
+    completions = run(scenario())
+    elapsed = time.perf_counter() - started
+    assert len(completions) == 3
+    # One coalesced batch, dispatched by the idle heuristic, not the 30s timer.
+    assert [len(prompts) for _, prompts in llm.batches] == [3]
+    assert elapsed < 5.0
+    assert llm.batches and llm.batches[0][1] == ["p0", "p1", "p2"]
+
+
+def test_kinds_never_mix_within_a_batch():
+    llm = RecordingLLM()
+
+    async def scenario():
+        batcher = MicroBatcher(llm, max_batch_size=8, max_wait=10.0)
+        await asyncio.gather(
+            batcher.submit("a1", "p_rm"),
+            batcher.submit("b1", "p_dp"),
+            batcher.submit("a2", "p_rm"),
+            batcher.submit("b2", "p_dp"),
+        )
+        return batcher.stats
+
+    stats = run(scenario())
+    for kind, prompts in llm.batches:
+        assert all(p.startswith("a" if kind == "p_rm" else "b") for p in prompts)
+    assert stats.by_kind == {"p_rm": 2, "p_dp": 2}
+    assert stats.requests == 4
+
+
+def test_stats_track_batch_shapes():
+    llm = RecordingLLM()
+
+    async def scenario():
+        batcher = MicroBatcher(llm, max_batch_size=2, max_wait=10.0)
+        await asyncio.gather(*(batcher.submit(f"p{i}", "answer") for i in range(5)))
+        return batcher.stats
+
+    stats = run(scenario())
+    assert stats.requests == 5
+    assert stats.max_batch == 2
+    assert stats.batches >= 3
+    assert stats.mean_batch == pytest.approx(5 / stats.batches)
+
+
+def test_usage_accounting_flows_to_the_model():
+    llm = RecordingLLM()
+
+    async def scenario():
+        batcher = MicroBatcher(llm, max_batch_size=4, max_wait=10.0)
+        await asyncio.gather(*(batcher.submit(f"p{i}", "p_cq") for i in range(4)))
+
+    run(scenario())
+    assert llm.usage.calls == 4
+    assert set(llm.usage.per_prompt_kind) == {"p_cq"}
+
+
+def test_backend_errors_propagate_to_every_waiter():
+    class FailingLLM(EchoLLM):
+        def complete_batch(self, prompts, kind="other"):
+            raise RuntimeError("backend down")
+
+    async def scenario():
+        batcher = MicroBatcher(FailingLLM(), max_batch_size=2, max_wait=10.0)
+        results = await asyncio.gather(
+            batcher.submit("a"), batcher.submit("b"), return_exceptions=True
+        )
+        return results
+
+    results = run(scenario())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_submissions_after_a_flush_form_new_batches():
+    llm = RecordingLLM()
+
+    async def scenario():
+        batcher = MicroBatcher(llm, max_batch_size=4, max_wait=10.0)
+        await asyncio.gather(*(batcher.submit(f"x{i}") for i in range(4)))
+        await asyncio.gather(*(batcher.submit(f"y{i}") for i in range(2)))
+
+    run(scenario())
+    assert [len(prompts) for _, prompts in llm.batches] == [4, 2]
+
+
+def test_validates_configuration():
+    with pytest.raises(ValueError):
+        MicroBatcher(EchoLLM(), max_batch_size=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(EchoLLM(), max_wait=-1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the disk-backed completion cache."""
+
+import json
+
+import pytest
+
+from repro.serving import PersistentCache, prompt_key
+
+
+def test_roundtrip_and_contains(tmp_path):
+    cache = PersistentCache(tmp_path / "c")
+    assert cache.get("p") is None
+    cache.put("p", "completion")
+    assert cache.get("p") == "completion"
+    assert "p" in cache and "q" not in cache
+    assert len(cache) == 1
+
+
+def test_entries_survive_reopening(tmp_path):
+    first = PersistentCache(tmp_path / "c")
+    first.put("prompt one", "a")
+    first.put("prompt two", "b")
+    reopened = PersistentCache(tmp_path / "c")
+    assert reopened.get("prompt one") == "a"
+    assert reopened.get("prompt two") == "b"
+    assert len(reopened) == 2
+
+
+def test_last_write_wins_across_processes(tmp_path):
+    cache = PersistentCache(tmp_path / "c")
+    cache.put("p", "old")
+    cache.put("p", "new")
+    assert cache.get("p") == "new"
+    assert PersistentCache(tmp_path / "c").get("p") == "new"
+
+
+def test_identical_put_is_not_reappended(tmp_path):
+    cache = PersistentCache(tmp_path / "c", shards=1)
+    cache.put("p", "same")
+    cache.put("p", "same")
+    shard = tmp_path / "c" / "shard-00.jsonl"
+    assert len(shard.read_text().strip().splitlines()) == 1
+
+
+def test_keys_spread_over_shards(tmp_path):
+    cache = PersistentCache(tmp_path / "c", shards=4)
+    for i in range(40):
+        cache.put(f"prompt {i}", "x")
+    shards = list((tmp_path / "c").glob("shard-*.jsonl"))
+    assert len(shards) > 1
+    assert len(PersistentCache(tmp_path / "c", shards=4)) == 40
+
+
+def test_torn_final_line_is_skipped(tmp_path):
+    cache = PersistentCache(tmp_path / "c", shards=1)
+    cache.put("p", "ok")
+    shard = tmp_path / "c" / "shard-00.jsonl"
+    with open(shard, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "abc", "te')  # simulated crash mid-write
+    reopened = PersistentCache(tmp_path / "c", shards=1)
+    assert reopened.get("p") == "ok"
+    assert len(reopened) == 1
+
+
+def test_clear_deletes_shards(tmp_path):
+    cache = PersistentCache(tmp_path / "c")
+    cache.put("p", "x")
+    cache.clear()
+    assert len(cache) == 0
+    assert not list((tmp_path / "c").glob("shard-*.jsonl"))
+    assert PersistentCache(tmp_path / "c").get("p") is None
+
+
+def test_compact_rewrites_one_line_per_key(tmp_path):
+    cache = PersistentCache(tmp_path / "c", shards=1)
+    for value in ("v1", "v2", "v3"):
+        cache.put("p", value)
+    shard = tmp_path / "c" / "shard-00.jsonl"
+    assert len(shard.read_text().strip().splitlines()) == 3
+    cache.compact()
+    lines = shard.read_text().strip().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0]) == {"key": prompt_key("p"), "text": "v3"}
+
+
+def test_rejects_nonpositive_shards(tmp_path):
+    with pytest.raises(ValueError):
+        PersistentCache(tmp_path / "c", shards=0)

@@ -1,0 +1,184 @@
+"""Tests for the JSON service front-end (request building, streams, TCP)."""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.core import (
+    ImputationTask,
+    InformationExtractionTask,
+    TableQATask,
+    TransformationTask,
+)
+from repro.serving import build_service
+from repro.serving.service import build_task
+
+
+# ------------------------------------------------------------- request parsing
+def test_build_imputation_task():
+    task = build_task(
+        {
+            "type": "imputation",
+            "rows": [
+                {"city": "Florence", "country": "Italy"},
+                {"city": "Madrid", "country": "Spain"},
+            ],
+            "target": {"city": "Milan"},
+            "attribute": "country",
+        }
+    )
+    assert isinstance(task, ImputationTask)
+    assert task.query() == "Milan, country"
+
+
+def test_build_transformation_task():
+    task = build_task(
+        {"type": "transformation", "value": "a", "examples": [["x", "y"]]}
+    )
+    assert isinstance(task, TransformationTask)
+
+
+def test_build_extraction_and_table_qa_tasks():
+    assert isinstance(
+        build_task({"type": "extraction", "document": "doc", "attribute": "name"}),
+        InformationExtractionTask,
+    )
+    assert isinstance(
+        build_task(
+            {
+                "type": "table_qa",
+                "rows": [{"player": "Jordan", "team": "Bulls"}],
+                "question": "which team?",
+            }
+        ),
+        TableQATask,
+    )
+
+
+@pytest.mark.parametrize(
+    "request_obj",
+    [
+        {"type": "unknown"},
+        {"type": "imputation", "rows": [], "target": {}, "attribute": "x"},
+        {"type": "imputation", "rows": [{"a": 1}], "target": "no", "attribute": "a"},
+        {"type": "imputation", "rows": [{"a": 1}], "target": {"a": 1}},
+        {"type": "imputation", "rows": [{"a": 1}], "target": {}, "attribute": "a", "primary_key": "z"},
+        {"type": "transformation", "value": "a", "examples": []},
+    ],
+)
+def test_build_task_rejects_malformed_requests(request_obj):
+    with pytest.raises((ValueError, KeyError)):
+        build_task(request_obj)
+
+
+# ------------------------------------------------------------------- batches
+@pytest.fixture
+def service(tmp_path):
+    return build_service(seed=0, cache_dir=str(tmp_path / "cache"), batch_size=4, workers=4)
+
+
+def test_handle_batch_mixes_good_and_bad_requests(service):
+    responses = service.handle_batch(
+        [
+            {
+                "id": "t1",
+                "type": "transformation",
+                "value": "19990415",
+                "examples": [["20000101", "2000-01-01"], ["20101231", "2010-12-31"]],
+            },
+            {"id": "bad", "type": "nope"},
+            {"id": "t2", "type": "extraction", "document": "Kevin Durant plays basketball.", "attribute": "player"},
+        ]
+    )
+    assert [r["id"] for r in responses] == ["t1", "bad", "t2"]
+    assert responses[0]["ok"] and responses[0]["answer"] == "1999-04-15"
+    assert responses[0]["tokens"] > 0 and responses[0]["calls"] > 0
+    assert not responses[1]["ok"] and "nope" in responses[1]["error"]
+    assert responses[2]["ok"]
+    assert service.requests_served == 3
+
+
+def test_underscore_keys_in_requests_are_harmless(service):
+    # Client payloads may carry arbitrary extra keys; the bad-JSON marker is
+    # out-of-band and must not collide with them.
+    response = service.handle_request(
+        {
+            "id": 9,
+            "type": "transformation",
+            "value": "x",
+            "examples": [["a", "A"]],
+            "_invalid": "just a client field",
+        }
+    )
+    assert response["ok"]
+
+
+def test_concurrent_batches_are_serialized(service):
+    from concurrent.futures import ThreadPoolExecutor
+
+    request = {"type": "transformation", "value": "x", "examples": [["a", "A"]]}
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        outcomes = list(pool.map(service.handle_batch, [[request]] * 8))
+    assert all(batch[0]["ok"] for batch in outcomes)
+    assert service.requests_served == 8
+
+
+def test_handle_request_single(service):
+    response = service.handle_request(
+        {"type": "transformation", "value": "abc", "examples": [["a", "A"], ["b", "B"]]}
+    )
+    assert response["ok"]
+
+
+def test_serve_stream_flushes_on_blank_line_and_eof(service):
+    lines = [
+        json.dumps({"id": 1, "type": "transformation", "value": "1", "examples": [["1", "one"]]}),
+        "",
+        "not json at all {",
+        json.dumps({"id": 2, "type": "extraction", "document": "d", "attribute": "a"}),
+    ]
+    out = io.StringIO()
+    served = service.serve_stream(io.StringIO("\n".join(lines) + "\n"), out)
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert served == 3
+    assert [r.get("id") for r in responses] == [1, None, 2]
+    assert responses[0]["ok"]
+    assert not responses[1]["ok"] and "bad JSON" in responses[1]["error"]
+    assert responses[2]["ok"]
+
+
+def test_serve_stream_reuses_cache_across_batches(service):
+    request = json.dumps(
+        {"id": 1, "type": "transformation", "value": "x", "examples": [["a", "A"]]}
+    )
+    stream = "\n".join([request, "", request]) + "\n"
+    out = io.StringIO()
+    service.serve_stream(io.StringIO(stream), out)
+    assert service.pipeline.llm.hits > 0  # second batch served from cache
+
+
+# ----------------------------------------------------------------------- tcp
+def test_tcp_round_trip(service):
+    async def scenario():
+        server = await service.start_tcp("127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        async with server:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            payload = [
+                json.dumps({"id": 1, "type": "transformation", "value": "7", "examples": [["1", "one"]]}),
+                json.dumps({"id": 2, "type": "bogus"}),
+                "",  # flush the batch
+            ]
+            writer.write(("\n".join(payload) + "\n").encode())
+            await writer.drain()
+            first = json.loads(await asyncio.wait_for(reader.readline(), 30))
+            second = json.loads(await asyncio.wait_for(reader.readline(), 30))
+            writer.close()
+            await writer.wait_closed()
+            return first, second
+
+    first, second = asyncio.run(scenario())
+    assert first["id"] == 1 and first["ok"]
+    assert second["id"] == 2 and not second["ok"]

@@ -1,5 +1,9 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import io
+import json
+import sys
+
 import pytest
 
 from repro.__main__ import main
@@ -31,6 +35,43 @@ def test_cli_demo(capsys):
     assert main(["demo"]) == 0
     out = capsys.readouterr().out
     assert "target prompt:" in out
+
+
+def test_cli_demo_engine(capsys, tmp_path):
+    assert main(["demo", "--engine", "--batch-size", "4", "--workers", "4",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "target prompt:" in out
+    assert "engine       :" in out and "tasks/s" in out
+    assert "batching     :" in out
+    assert "cache        :" in out
+
+
+def test_cli_run_experiment_engine(capsys):
+    assert main(["run-experiment", "table11", "--max-tasks", "4", "--engine"]) == 0
+    out = capsys.readouterr().out
+    assert "Evaporate" in out
+    # The global default engine must not leak past the command.
+    from repro.eval import harness
+
+    assert harness._DEFAULT_ENGINE_CONFIG is None
+
+
+def test_cli_serve_stdin(capsys, monkeypatch):
+    requests = [
+        {"id": 1, "type": "transformation", "value": "19990415",
+         "examples": [["20000101", "2000-01-01"], ["20101231", "2010-12-31"]]},
+        {"id": 2, "type": "nope"},
+    ]
+    stdin = io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n")
+    monkeypatch.setattr(sys, "stdin", stdin)
+    assert main(["serve", "--batch-size", "4", "--workers", "2"]) == 0
+    captured = capsys.readouterr()
+    responses = [json.loads(line) for line in captured.out.splitlines()]
+    assert [r["id"] for r in responses] == [1, 2]
+    assert responses[0]["ok"] and responses[0]["answer"] == "1999-04-15"
+    assert not responses[1]["ok"]
+    assert "served 2 requests" in captured.err
 
 
 def test_cli_requires_command():
