@@ -2,9 +2,10 @@
 
 This mirrors the data-lake motivation of the paper's introduction: a dirty
 table arrives (here, the synthetic Hospital benchmark with 5% injected typos
-and the Restaurant benchmark with masked cities), and the same UniDM pipeline
-first flags suspicious cells and then fills in missing values — no per-task
-model training or rule engineering.
+and the Restaurant benchmark with masked cities), and the same unified
+pipeline — driven through the :class:`repro.api.Client` facade — first flags
+suspicious cells and then fills in missing values, with no per-task model
+training or rule engineering.
 
 Run with::
 
@@ -13,7 +14,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import UniDM, UniDMConfig
+from repro.api import Client
+from repro.core import UniDMConfig
 from repro.datasets import load_dataset
 from repro.eval import evaluate, format_table
 from repro.experiments.common import make_unidm
@@ -36,11 +38,10 @@ def detect_errors(n_cells: int = 60) -> list[dict]:
 
 def impute_missing(n_cells: int = 20) -> None:
     dataset = load_dataset("restaurant", seed=0, n_records=120, n_tasks=n_cells)
-    llm_method = make_unidm(dataset, seed=2)
-    pipeline: UniDM = llm_method.pipeline
+    client = Client.local(pipeline=make_unidm(dataset, seed=2).pipeline)
     rows = []
     for task, truth in list(zip(dataset.tasks, dataset.ground_truth))[:8]:
-        result = pipeline.run(task)
+        result = client.run_task(task)
         rows.append(
             {
                 "restaurant": task.entity_key(),

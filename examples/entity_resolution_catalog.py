@@ -4,7 +4,10 @@ The Walmart-Amazon style benchmark pairs records from two product tables; the
 script runs the zero-shot UniDM pipeline next to the trained Ditto and
 Magellan matchers, then shows the fine-tuning effect of Table 5: a small
 (GPT-J-6B class) model is nearly useless zero-shot but competitive after the
-simulated lightweight fine-tuning on the labelled training split.
+simulated lightweight fine-tuning on the labelled training split.  Finally it
+adjudicates one pair through the :class:`repro.api.Client` facade with a
+wire-ready ``EntityResolutionSpec`` — the same request a remote catalogue
+service would send.
 
 Run with::
 
@@ -13,11 +16,12 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import Client, EntityResolutionSpec
 from repro.baselines import DittoMatcher, MagellanMatcher
 from repro.core import UniDMConfig
 from repro.datasets import load_dataset
 from repro.eval import evaluate, format_table
-from repro.experiments.common import UniDMMethod, make_unidm
+from repro.experiments.common import UniDMMethod, make_llm, make_unidm
 from repro.llm import FineTuner
 from repro.llm.profiles import get_profile
 
@@ -51,6 +55,21 @@ def main() -> None:
     print(
         f"\nFine-tuning fitted a decision threshold of {report.threshold:.2f} "
         f"on {report.n_examples} labelled pairs (train F1 {report.train_f1:.2f})."
+    )
+
+    # One pair through the unified client API (the wire-protocol view of the
+    # same task): record dicts in, a typed TaskResult out.
+    pair_task = dataset.tasks[0]
+    spec = EntityResolutionSpec(
+        record_a=pair_task.record_a.to_dict(),
+        record_b=pair_task.record_b.to_dict(),
+    )
+    with Client.local(llm=make_llm(dataset, seed=2), config=UniDMConfig.full(seed=2)) as client:
+        outcome = client.submit(spec)
+    verdict = "the same entity" if outcome.answer else "different entities"
+    print(
+        f"\nClient facade: the first candidate pair is judged {verdict} "
+        f"({outcome.calls} LLM calls, {outcome.tokens} tokens)."
     )
 
 

@@ -4,7 +4,8 @@ The appendix tasks show that the same unified pipeline generalises beyond
 cell-level cleaning: it decides which columns of a lake join (Figure 4),
 answers aggregate questions over a table (Figure 3), and populates a
 structured view from semi-structured documents (Figure 6).  This script runs
-one worked example of each.
+one worked example of each, all three driven through the same
+:class:`repro.api.Client` facade — one entry point, three task types.
 
 Run with::
 
@@ -13,7 +14,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import UniDM, UniDMConfig
+from repro.api import Client
+from repro.core import UniDMConfig
 from repro.datasets import load_dataset
 from repro.eval import format_table
 from repro.experiments.common import make_llm
@@ -21,10 +23,10 @@ from repro.experiments.common import make_llm
 
 def join_discovery() -> None:
     dataset = load_dataset("nextiajd", seed=0, n_pairs=12)
-    pipeline = UniDM(make_llm(dataset, seed=2), UniDMConfig.full(seed=0))
+    client = Client.local(llm=make_llm(dataset, seed=2), config=UniDMConfig.full(seed=0))
     rows = []
     for task, truth in list(zip(dataset.tasks, dataset.ground_truth))[:8]:
-        result = pipeline.run(task)
+        result = client.run_task(task)
         rows.append(
             {
                 "candidate pair": task.query(),
@@ -37,20 +39,23 @@ def join_discovery() -> None:
 
 def table_question_answering() -> None:
     dataset = load_dataset("wiki_table_questions", seed=0, n_tables=2)
-    pipeline = UniDM(make_llm(dataset, seed=2), UniDMConfig.full(seed=0, candidate_sample_size=10))
+    client = Client.local(
+        llm=make_llm(dataset, seed=2),
+        config=UniDMConfig.full(seed=0, candidate_sample_size=10),
+    )
     rows = []
     for task, truth in list(zip(dataset.tasks, dataset.ground_truth))[:4]:
-        result = pipeline.run(task)
+        result = client.run_task(task)
         rows.append({"question": task.question, "answer": result.value, "expected": truth})
     print(format_table(rows, title="Table question answering"))
 
 
 def information_extraction() -> None:
     dataset = load_dataset("nba_players", seed=0, n_documents=6)
-    pipeline = UniDM(make_llm(dataset, seed=2), UniDMConfig.full(seed=0))
+    client = Client.local(llm=make_llm(dataset, seed=2), config=UniDMConfig.full(seed=0))
     rows = []
     for task, truth in list(zip(dataset.tasks, dataset.ground_truth))[:8]:
-        result = pipeline.run(task)
+        result = client.run_task(task)
         rows.append({"attribute": task.attribute, "extracted": result.value, "expected": truth})
     print(format_table(rows, title="Closed information extraction from player pages"))
 

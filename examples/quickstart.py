@@ -1,9 +1,12 @@
-"""Quickstart: impute a missing value with the full UniDM pipeline.
+"""Quickstart: impute a missing value through the unified client facade.
 
 Builds a tiny city table, registers the world knowledge a pre-trained LLM
-would plausibly have, and runs the three-step UniDM pipeline (automatic
-context retrieval -> context parsing -> cloze target prompt) to fill in
-Copenhagen's missing timezone — the running example of the paper's Figure 2.
+would plausibly have, and asks the :class:`repro.api.Client` facade to fill
+in Copenhagen's missing timezone — the running example of the paper's
+Figure 2.  The same ``ImputationSpec`` could be sent unchanged to a remote
+service (``Client.remote(host, port)`` against ``python -m repro serve
+--port``); here it runs in-process, and we also run the task object directly
+to inspect the full prompt trace.
 
 Run with::
 
@@ -12,7 +15,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import ImputationTask, UniDM, UniDMConfig
+from repro.api import Client, ImputationSpec
+from repro.core import ImputationTask, UniDMConfig
 from repro.datalake import Attribute, AttributeType, Schema, Table
 from repro.llm import SimulatedLLM, WorldKnowledge
 
@@ -55,12 +59,29 @@ def build_knowledge(table: Table) -> WorldKnowledge:
 def main() -> None:
     table = build_table()
     llm = SimulatedLLM(knowledge=build_knowledge(table), seed=1)
-    pipeline = UniDM(llm, UniDMConfig.full(candidate_sample_size=5, top_k_instances=3))
+    client = Client.local(
+        llm=llm, config=UniDMConfig.full(candidate_sample_size=5, top_k_instances=3)
+    )
 
+    # The wire-friendly path: a typed spec, answered by submit().  The exact
+    # same spec works against Client.remote(...) — that is the point of the
+    # unified API.
     copenhagen = table[5]
-    task = ImputationTask(table, copenhagen, "timezone")
-    result = pipeline.run(task)
+    spec = ImputationSpec(
+        rows=table.to_dicts(),
+        target=copenhagen.to_dict(),
+        attribute="timezone",
+        table_name="cities",
+        primary_key="city",
+    )
+    outcome = client.submit(spec)
+    print("Spec answer      :", outcome.answer)
+    print(f"Spec cost        : {outcome.calls} calls, {outcome.tokens} tokens "
+          f"({outcome.elapsed * 1000:.1f} ms)")
 
+    # The in-process path: run the task object to inspect the prompt trace.
+    task = ImputationTask(table, copenhagen, "timezone")
+    result = client.run_task(task)
     print("Target query     :", result.query)
     print("Helpful attribute:", result.trace.meta_retrieval_output)
     print("Parsed context   :", result.context_text)

@@ -2,6 +2,8 @@
 
 The package is organised as:
 
+* :mod:`repro.api`        — the unified client facade: typed task specs, the
+  versioned wire protocol, ``Client.local`` / ``Client.remote``;
 * :mod:`repro.datalake`   — tables, records, schemas and lakes;
 * :mod:`repro.llm`        — language-model interface, simulated LLMs, knowledge;
 * :mod:`repro.prompting`  — the canonical prompt templates;
@@ -14,25 +16,29 @@ The package is organised as:
 
 Quickstart::
 
-    from repro.datasets import RestaurantDataset
-    from repro.core import UniDM, UniDMConfig
-    from repro.llm import SimulatedLLM
+    from repro.api import Client, TransformationSpec
 
-    dataset = RestaurantDataset(seed=0).build()
-    llm = SimulatedLLM(knowledge=dataset.knowledge, seed=0)
-    pipeline = UniDM(llm, UniDMConfig.full())
-    result = pipeline.run(dataset.tasks[0])
-    print(result.value)
+    with Client.local(seed=0) as client:
+        result = client.submit(
+            TransformationSpec(value="19990415", examples=[["20000101", "2000-01-01"]])
+        )
+        print(result.answer)
+
+(or drive the pipeline directly through :mod:`repro.core` — see the README).
 """
 
+from .api import Client, TaskResult, TaskSpec
 from .core import ManipulationResult, TaskType, UniDM, UniDMConfig, solve
 from .llm import SimulatedLLM, WorldKnowledge
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Client",
     "ManipulationResult",
     "SimulatedLLM",
+    "TaskResult",
+    "TaskSpec",
     "TaskType",
     "UniDM",
     "UniDMConfig",

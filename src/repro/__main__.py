@@ -11,12 +11,15 @@ Commands
     ``--engine`` the experiment's pipeline methods run through the batched
     serving engine instead of a sequential loop.
 ``demo``
-    Run the Figure-2 style quickstart on a freshly generated Restaurant task.
-    With ``--engine`` all of the dataset's tasks are executed through the
-    serving engine and a throughput summary is printed.
+    Run the Figure-2 style quickstart on a freshly generated Restaurant task,
+    driven through the :class:`repro.api.Client` facade.  With ``--engine``
+    all of the dataset's tasks are executed through the serving engine and a
+    throughput summary is printed.
 ``serve``
     Answer JSON task requests (newline-delimited; blank line flushes a batch)
-    on stdin/stdout, or on a TCP socket with ``--port``.
+    on stdin/stdout, or on a TCP socket with ``--port``.  Speaks the
+    versioned protocol of :mod:`repro.api.protocol` (v2 envelopes natively,
+    flat v1 requests still accepted) and covers all seven task types.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ import argparse
 import sys
 import time
 
-from .core import UniDM, UniDMConfig
+from .core import UniDMConfig
 from .datasets import list_datasets, load_dataset
 from .experiments import ALL_EXPERIMENTS
 from .llm import CachedLLM, SimulatedLLM
@@ -111,13 +114,15 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    from .api import Client
+
     dataset = load_dataset("restaurant", seed=args.seed, n_records=80, n_tasks=5)
     llm = _maybe_cached(
         SimulatedLLM(knowledge=dataset.knowledge, seed=args.seed), args.cache_dir
     )
-    pipeline = UniDM(llm, UniDMConfig.full(seed=args.seed))
+    client = Client.local(llm=llm, config=UniDMConfig.full(seed=args.seed))
     task = dataset.tasks[0]
-    result = pipeline.run(task)
+    result = client.run_task(task)
     print("query        :", result.query)
     print("context      :", result.context_text)
     print("target prompt:", result.trace.target_prompt)
@@ -126,8 +131,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print("tokens       :", result.total_tokens)
     if args.engine:
         engine = _engine_from_args(args)
+        client.service.engine = engine
         started = time.perf_counter()
-        results = pipeline.run_many(dataset.tasks, engine=engine)
+        results = client.run_tasks(dataset.tasks)
         elapsed = time.perf_counter() - started
         correct = sum(
             1 for r, truth in zip(results, dataset.ground_truth) if r.value == truth

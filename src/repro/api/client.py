@@ -1,0 +1,323 @@
+"""One client facade over the in-process engine and the TCP service.
+
+``Client.local(...)`` builds (or wraps) a pipeline + engine in this process;
+``Client.remote(host, port)`` speaks the line protocol to a running
+``python -m repro serve --port`` instance.  Both offer the same calls with
+the same semantics:
+
+* :meth:`Client.submit` — one :class:`~repro.api.specs.TaskSpec`, returns a
+  :class:`~repro.api.results.TaskResult`, raising
+  :class:`~repro.api.errors.TaskFailedError` on an error response;
+* :meth:`Client.submit_many` — a batch of specs, answered in order, with
+  per-item failures embedded as ``result.error`` (never raising mid-batch);
+* :meth:`Client.asubmit_many` — the async flavour of ``submit_many``.
+
+Both paths serialize specs through the same v2 wire encoding and decode the
+same response envelopes, so a spec answered locally and remotely is, by
+construction, the *same request* — the acceptance contract of the redesign.
+Local clients additionally expose :meth:`run_task` / :meth:`run_tasks`,
+which accept pipeline :class:`~repro.core.tasks.base.Task` objects directly
+and return rich :class:`~repro.core.types.ManipulationResult`\\ s (with full
+prompt traces) — the entry point the CLI demo, the evaluation harness and
+the examples use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import json
+import time
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from .errors import TransportError
+from .protocol import PROTOCOL_VERSION, decode_response, encode_request
+from .results import TaskResult
+from .specs import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import UniDMConfig
+    from ..core.pipeline import UniDM
+    from ..core.tasks.base import Task
+    from ..core.types import ManipulationResult
+    from ..llm.base import LanguageModel
+    from ..serving.engine import ExecutionEngine
+    from ..serving.service import ServingService
+
+
+class Client:
+    """Unified entry point to the seven data-manipulation tasks."""
+
+    def __init__(self, backend: "_Backend"):
+        self._backend = backend
+        self._next_id = 0
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def local(
+        cls,
+        llm: "LanguageModel | None" = None,
+        config: "UniDMConfig | None" = None,
+        engine: "ExecutionEngine | None" = None,
+        *,
+        pipeline: "UniDM | None" = None,
+        model: str | None = None,
+        seed: int = 0,
+        knowledge: Any = None,
+        cache_dir: str | None = None,
+        batch_size: int = 8,
+        workers: int = 8,
+    ) -> "Client":
+        """A client over an in-process pipeline + execution engine.
+
+        With no arguments this assembles the default serving stack (simulated
+        LLM → cache → engine); pass ``llm``/``config`` to customise it or
+        ``pipeline`` to wrap an existing :class:`~repro.core.pipeline.UniDM`.
+        """
+        from ..core.config import UniDMConfig
+        from ..core.pipeline import UniDM
+        from ..serving.engine import EngineConfig, ExecutionEngine
+        from ..serving.service import ServingService, build_service
+
+        if pipeline is not None:
+            if llm is not None or config is not None:
+                raise ValueError(
+                    "pass either pipeline= or llm=/config= to Client.local, not "
+                    "both — a ready pipeline already fixes its model and config"
+                )
+            if engine is None:
+                engine = ExecutionEngine(
+                    EngineConfig(max_batch_size=batch_size, workers=workers)
+                )
+            service = ServingService(pipeline, engine)
+        elif llm is not None:
+            pipeline = UniDM(llm, config or UniDMConfig.full(seed=seed))
+            if engine is None:
+                engine = ExecutionEngine(
+                    EngineConfig(max_batch_size=batch_size, workers=workers)
+                )
+            service = ServingService(pipeline, engine)
+        else:
+            service = build_service(
+                model=model,
+                seed=seed,
+                cache_dir=cache_dir,
+                batch_size=batch_size,
+                workers=workers,
+                knowledge=knowledge,
+            )
+            if config is not None:
+                service.pipeline = UniDM(service.pipeline.llm, config)
+            if engine is not None:
+                service.engine = engine
+        return cls(_LocalBackend(service))
+
+    @classmethod
+    def remote(
+        cls, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0
+    ) -> "Client":
+        """A client speaking the line protocol to a running TCP service."""
+        return cls(_RemoteBackend(host, port, timeout))
+
+    # -------------------------------------------------------------- spec path
+    def submit(self, spec: TaskSpec) -> TaskResult:
+        """Execute one task spec; raise ``TaskFailedError`` on failure."""
+        return self.submit_many([spec])[0].unwrap()
+
+    def submit_many(self, specs: Sequence[TaskSpec]) -> list[TaskResult]:
+        """Execute a batch of specs; responses keep submission order.
+
+        Failures never abort the batch — each failed item carries its
+        structured error in ``result.error`` (``result.ok`` is False).
+        """
+        requests, ids = self._encode(specs)
+        if not requests:
+            return []
+        started = time.perf_counter()
+        responses = self._backend.send(requests)
+        elapsed = time.perf_counter() - started
+        return self._decode(responses, ids, elapsed)
+
+    async def asubmit_many(self, specs: Sequence[TaskSpec]) -> list[TaskResult]:
+        """Async flavour of :meth:`submit_many` (same ordering/error rules)."""
+        requests, ids = self._encode(specs)
+        if not requests:
+            return []
+        started = time.perf_counter()
+        responses = await self._backend.asend(requests)
+        elapsed = time.perf_counter() - started
+        return self._decode(responses, ids, elapsed)
+
+    # -------------------------------------------------------------- task path
+    def run_task(self, task: "Task") -> "ManipulationResult":
+        """Run one pipeline task in-process (rich result with prompt trace)."""
+        return self._backend.run_tasks([task])[0]
+
+    def run_tasks(self, tasks: Iterable["Task"]) -> "list[ManipulationResult]":
+        """Run pipeline tasks through the local engine, preserving order."""
+        return self._backend.run_tasks(list(tasks))
+
+    # ------------------------------------------------------------- life-cycle
+    @property
+    def is_local(self) -> bool:
+        return isinstance(self._backend, _LocalBackend)
+
+    @property
+    def service(self) -> "ServingService":
+        """The in-process service (local clients only)."""
+        return self._backend.service  # raises on remote backends
+
+    @property
+    def pipeline(self) -> "UniDM":
+        """The in-process pipeline (local clients only)."""
+        return self._backend.service.pipeline
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- internals
+    def _encode(self, specs: Sequence[TaskSpec]) -> tuple[list[dict], list[int]]:
+        requests, ids = [], []
+        for spec in specs:
+            if not isinstance(spec, TaskSpec):
+                raise TypeError(
+                    f"submit expects TaskSpec instances, got {type(spec).__name__}; "
+                    "use run_task/run_tasks for pipeline Task objects"
+                )
+            request_id = self._next_id
+            self._next_id += 1
+            requests.append(encode_request(spec, request_id, PROTOCOL_VERSION))
+            ids.append(request_id)
+        return requests, ids
+
+    def _decode(
+        self, responses: list[dict], ids: list[int], elapsed: float
+    ) -> list[TaskResult]:
+        if len(responses) != len(ids):
+            raise TransportError(
+                f"service answered {len(responses)} responses for {len(ids)} requests"
+            )
+        by_id = {}
+        for response in responses:
+            result = decode_response(response)
+            by_id[result.id] = result
+        per_item = elapsed / len(ids)
+        ordered = []
+        for position, request_id in enumerate(ids):
+            result = by_id.get(request_id)
+            if result is None:  # service echoed no/garbled ids: trust ordering
+                result = decode_response(responses[position])
+            result.elapsed = per_item
+            ordered.append(result)
+        return ordered
+
+
+# ------------------------------------------------------------------- backends
+class _Backend:
+    """Transport strategy: how encoded request batches reach the service."""
+
+    def send(self, requests: list[dict]) -> list[dict]:
+        raise NotImplementedError
+
+    async def asend(self, requests: list[dict]) -> list[dict]:
+        raise NotImplementedError
+
+    def run_tasks(self, tasks: "list[Task]") -> "list[ManipulationResult]":
+        raise TransportError("run_task/run_tasks need a local client; this one is remote")
+
+    def close(self) -> None:
+        pass
+
+
+class _LocalBackend(_Backend):
+    """Requests answered by an in-process :class:`ServingService`."""
+
+    def __init__(self, service: "ServingService"):
+        self.service = service
+
+    def send(self, requests: list[dict]) -> list[dict]:
+        return self.service.handle_batch(requests)
+
+    async def asend(self, requests: list[dict]) -> list[dict]:
+        # handle_batch spins its own event loop; keep it off this one.
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.service.handle_batch, requests)
+
+    def run_tasks(self, tasks: "list[Task]") -> "list[ManipulationResult]":
+        return self.service.run_tasks(tasks)
+
+
+class _RemoteBackend(_Backend):
+    """Requests shipped over the newline-delimited JSON TCP protocol.
+
+    Each batch uses one connection: write every request line plus the blank
+    flush line, then read exactly one response line per request.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _payload(self, requests: list[dict]) -> bytes:
+        lines = [json.dumps(request, ensure_ascii=False) for request in requests]
+        return ("\n".join(lines) + "\n\n").encode()
+
+    def send(self, requests: list[dict]) -> list[dict]:
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            ) as conn:
+                conn.sendall(self._payload(requests))
+                reader = conn.makefile("r", encoding="utf-8")
+                return [self._read_line(reader) for _ in requests]
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _read_line(reader: Any) -> dict:
+        line = reader.readline()
+        if not line:
+            raise TransportError("service closed the connection mid-batch")
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TransportError(f"service answered bad JSON: {exc}") from exc
+
+    async def asend(self, requests: list[dict]) -> list[dict]:
+        try:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        try:
+            writer.write(self._payload(requests))
+            await writer.drain()
+            responses = []
+            for _ in requests:
+                line = await asyncio.wait_for(reader.readline(), self.timeout)
+                if not line:
+                    raise TransportError("service closed the connection mid-batch")
+                try:
+                    responses.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise TransportError(f"service answered bad JSON: {exc}") from exc
+            return responses
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:  # pragma: no cover - teardown best-effort
+                pass
+
+
+__all__ = ["Client"]

@@ -1,0 +1,102 @@
+"""Structured API errors shared by the client facade and the wire protocol.
+
+PR 1's service reported failures as bare strings, which forced clients to
+parse prose.  The v2 protocol instead carries an :class:`ErrorInfo` object —
+a stable ``code``, a human-readable ``message`` and (for validation errors)
+the offending ``field`` — and the exceptions below map onto it.
+
+:class:`InvalidRequestError` deliberately subclasses :class:`ValueError` so
+that pre-existing call sites (and tests) that expect ``ValueError`` from
+request validation keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Wire-serializable description of a failure."""
+
+    code: str
+    message: str
+    field: str | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.field is not None:
+            payload["field"] = self.field
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "ErrorInfo":
+        if isinstance(payload, str):  # v1 responses carry a bare string
+            return cls(code="error", message=payload)
+        if not isinstance(payload, dict):
+            return cls(code="error", message=str(payload))
+        return cls(
+            code=str(payload.get("code", "error")),
+            message=str(payload.get("message", "")),
+            field=payload.get("field"),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" (field: {self.field})" if self.field else ""
+        return f"[{self.code}] {self.message}{where}"
+
+
+class ApiError(Exception):
+    """Base class of all errors raised by the :mod:`repro.api` facade."""
+
+    code = "error"
+
+    def __init__(self, message: str, *, field: str | None = None, code: str | None = None):
+        super().__init__(message)
+        self.message = message
+        self.field = field
+        if code is not None:
+            self.code = code
+
+    @property
+    def info(self) -> ErrorInfo:
+        return ErrorInfo(code=self.code, message=self.message, field=self.field)
+
+    @classmethod
+    def from_info(cls, info: ErrorInfo) -> "ApiError":
+        return cls(info.message, field=info.field, code=info.code)
+
+
+class InvalidRequestError(ApiError, ValueError):
+    """A request failed validation before reaching the pipeline."""
+
+    code = "invalid_request"
+
+
+class UnknownTaskTypeError(InvalidRequestError):
+    """The request named a task type outside the registry."""
+
+    code = "unknown_task_type"
+
+
+class ProtocolError(InvalidRequestError):
+    """The request envelope itself was malformed (bad version, bad shape)."""
+
+    code = "protocol_error"
+
+
+class TransportError(ApiError):
+    """The remote service could not be reached or answered garbage."""
+
+    code = "transport_error"
+
+
+class TaskFailedError(ApiError):
+    """The service answered with an error response for a submitted task."""
+
+    code = "task_failed"
+
+    @classmethod
+    def from_info(cls, info: ErrorInfo) -> "TaskFailedError":
+        return cls(info.message, field=info.field, code=info.code)

@@ -1,0 +1,143 @@
+"""The versioned wire protocol spoken between clients and the service.
+
+Two request generations coexist on the same newline-delimited JSON channel:
+
+* **v1** (PR 1 format, still accepted) — a flat object
+  ``{"id": ..., "type": "transformation", ...task fields}``.  Responses are
+  flat too, with failures carried as a bare ``"error"`` string.
+* **v2** (current) — an explicit envelope
+  ``{"v": 2, "id": ..., "task": {"type": ..., ...task fields}}``.  Responses
+  echo ``{"v": 2}`` and failures carry a structured error object
+  ``{"code", "message", "field"?}`` (see :class:`~repro.api.errors.ErrorInfo`).
+
+A request without a ``"v"`` key is treated as v1, so every PR 1 client keeps
+working against the v2 service; the response generation always mirrors the
+request generation, so a v1 caller never sees a v2 shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from .errors import ErrorInfo, ProtocolError
+from .results import TaskResult
+from .specs import TaskSpec, spec_from_request
+
+#: The protocol generation this library speaks natively.
+PROTOCOL_VERSION = 2
+
+#: Request generations the service accepts.
+SUPPORTED_VERSIONS = (1, 2)
+
+
+@dataclass(frozen=True)
+class ParsedRequest:
+    """One validated request: the spec plus its envelope metadata."""
+
+    spec: TaskSpec
+    id: Any = None
+    version: int = PROTOCOL_VERSION
+
+
+def request_version(payload: Any) -> int:
+    """The protocol generation a raw request object claims (v1 if silent)."""
+    if isinstance(payload, Mapping) and "v" in payload:
+        version = payload["v"]
+        if version not in SUPPORTED_VERSIONS:
+            raise ProtocolError(
+                f"unsupported protocol version {version!r}; "
+                f"supported: {list(SUPPORTED_VERSIONS)}",
+                field="v",
+            )
+        return int(version)
+    return 1
+
+
+def parse_request(payload: Any) -> ParsedRequest:
+    """Validate a raw request object (either generation) into a spec.
+
+    Raises :class:`~repro.api.errors.InvalidRequestError` subclasses on any
+    malformed input; the caller decides how to report them (the service turns
+    them into error responses, the client raises them directly).
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("request must be a JSON object")
+    version = request_version(payload)
+    request_id = payload.get("id")
+    if version >= 2:
+        task = payload.get("task")
+        if not isinstance(task, Mapping):
+            raise ProtocolError("v2 requests must carry a 'task' object", field="task")
+        return ParsedRequest(spec=spec_from_request(task), id=request_id, version=version)
+    return ParsedRequest(spec=spec_from_request(payload), id=request_id, version=1)
+
+
+def encode_request(
+    spec: TaskSpec, request_id: Any = None, version: int = PROTOCOL_VERSION
+) -> dict[str, Any]:
+    """Serialize a spec into a raw request object of the given generation."""
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(f"unsupported protocol version {version!r}", field="v")
+    if version == 1:
+        payload = spec.to_request()
+        if request_id is not None:
+            payload = {"id": request_id, **payload}
+        return payload
+    return {"v": version, "id": request_id, "task": spec.to_request()}
+
+
+def encode_success(result: TaskResult, request_id: Any, version: int) -> dict[str, Any]:
+    """Serialize a successful result in the caller's protocol generation."""
+    if version >= 2:
+        return {"v": version, "id": request_id, "ok": True, "result": result.to_payload()}
+    return {
+        "id": request_id,
+        "ok": True,
+        "answer": result.answer,
+        "raw": result.raw,
+        "tokens": result.tokens,
+        "calls": result.calls,
+    }
+
+
+def encode_error(error: ErrorInfo, request_id: Any, version: int) -> dict[str, Any]:
+    """Serialize a failure in the caller's protocol generation."""
+    if version >= 2:
+        return {"v": version, "id": request_id, "ok": False, "error": error.to_payload()}
+    return {"id": request_id, "ok": False, "error": error.message}
+
+
+def decode_response(payload: Any) -> TaskResult:
+    """Parse a raw response object (either generation) into a result."""
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("response must be a JSON object")
+    request_id = payload.get("id")
+    if not payload.get("ok", False):
+        return TaskResult(
+            answer=None,
+            id=request_id,
+            error=ErrorInfo.from_payload(payload.get("error", "unknown error")),
+        )
+    if "result" in payload:  # v2
+        return TaskResult.from_payload(payload["result"], request_id=request_id)
+    return TaskResult(  # v1 flat success
+        answer=payload.get("answer"),
+        raw=str(payload.get("raw", "")),
+        tokens=int(payload.get("tokens", 0)),
+        calls=int(payload.get("calls", 0)),
+        id=request_id,
+    )
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "ParsedRequest",
+    "decode_response",
+    "encode_error",
+    "encode_request",
+    "encode_success",
+    "parse_request",
+    "request_version",
+]

@@ -1,0 +1,88 @@
+"""The typed result returned by every facade entry point.
+
+:class:`TaskResult` is the client-side view of one answered task: the parsed
+answer, the raw completion text, token/call usage, wall-clock timing measured
+around the submission, and — when the task ran in-process — the full
+:class:`~repro.core.types.PromptTrace`.  Failures are carried as a structured
+:class:`~repro.api.errors.ErrorInfo` instead of being collapsed into prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, TYPE_CHECKING
+
+from .errors import ErrorInfo, TaskFailedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.types import ManipulationResult, PromptTrace
+
+
+@dataclass
+class TaskResult:
+    """Outcome of submitting one task spec through the client facade."""
+
+    answer: Any
+    raw: str = ""
+    task_type: str = ""
+    tokens: int = 0
+    calls: int = 0
+    #: Client-measured seconds from submission to response (batch-amortised).
+    elapsed: float = 0.0
+    #: Full prompt trace; populated only for in-process (local) execution.
+    trace: "PromptTrace | None" = None
+    #: Structured failure; ``None`` on success.
+    error: ErrorInfo | None = None
+    id: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> "TaskResult":
+        """Return self on success; raise :class:`TaskFailedError` on failure."""
+        if self.error is not None:
+            raise TaskFailedError.from_info(self.error)
+        return self
+
+    # -- wire form -----------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        """The v2 ``result`` object (trace and timing stay client-side)."""
+        return {
+            "answer": self.answer,
+            "raw": self.raw,
+            "task_type": self.task_type,
+            "tokens": self.tokens,
+            "calls": self.calls,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any], request_id: Any = None) -> "TaskResult":
+        return cls(
+            answer=payload.get("answer"),
+            raw=str(payload.get("raw", "")),
+            task_type=str(payload.get("task_type", "")),
+            tokens=int(payload.get("tokens", 0)),
+            calls=int(payload.get("calls", 0)),
+            id=request_id,
+        )
+
+    # -- pipeline form -------------------------------------------------------
+    @classmethod
+    def from_manipulation(
+        cls, result: "ManipulationResult", request_id: Any = None, elapsed: float = 0.0
+    ) -> "TaskResult":
+        """Adapt a pipeline :class:`ManipulationResult` into the facade type."""
+        return cls(
+            answer=result.value,
+            raw=result.raw_answer,
+            task_type=result.task_type.value,
+            tokens=result.total_tokens,
+            calls=result.usage.calls if result.usage else 0,
+            elapsed=elapsed,
+            trace=result.trace,
+            id=request_id,
+        )
+
+
+__all__ = ["TaskResult"]

@@ -106,8 +106,9 @@ def evaluate(
     """Run ``method`` over ``dataset`` and compute the paper's metric.
 
     ``batch_size``/``workers`` route a pipeline-backed per-task method through
-    the serving :class:`~repro.serving.engine.ExecutionEngine` instead of a
-    sequential loop, micro-batching its LLM calls across tasks.
+    the serving :class:`~repro.serving.engine.ExecutionEngine` (wrapped in a
+    local :class:`repro.api.Client`) instead of a sequential loop,
+    micro-batching its LLM calls across tasks.
     """
     bench = dataset if max_tasks is None else dataset.subset(max_tasks, seed=subset_seed)
     metric_name, metric_fn = metric_for(bench.task_type)
@@ -124,8 +125,10 @@ def evaluate(
         engine = _engine_for(batch_size, workers)
         pipeline = _pipeline_of(method) if engine is not None else None
         if pipeline is not None:
-            results = pipeline.run_many(bench.tasks, engine=engine)
-            predictions = [result.value for result in results]
+            from ..api import Client
+
+            client = Client.local(pipeline=pipeline, engine=engine)
+            predictions = [result.value for result in client.run_tasks(bench.tasks)]
         else:
             predictions = [method.solve(task) for task in bench.tasks]
     tokens_after, calls_after = _usage_of(method)

@@ -8,23 +8,22 @@ full micro-batching while an interactive session can flush at will:
 .. code-block:: console
 
    $ printf '%s\n' \
-       '{"id": 1, "type": "transformation", "value": "19990415",
-         "examples": [["20000101", "2000-01-01"]]}' \
+       '{"v": 2, "id": 1, "task": {"type": "transformation",
+         "value": "19990415", "examples": [["20000101", "2000-01-01"]]}}' \
      | python -m repro serve
 
-Request schema (``type`` selects the task):
+Requests follow the versioned protocol of :mod:`repro.api.protocol`: the
+native form is the v2 envelope ``{"v": 2, "id": ..., "task": {...}}``, and
+flat v1 objects (the PR 1 format) are still accepted.  All seven task types
+of the unified framework are served — the task payload schema is defined by
+the :class:`~repro.api.specs.TaskSpec` registry, which replaced the service's
+former if/elif request builder (that builder only understood four types).
 
-* ``imputation`` — ``rows`` (list of flat objects), ``target`` (object),
-  ``attribute``; optional ``table_name``, ``primary_key`` (defaults to the
-  first column).
-* ``transformation`` — ``value``, ``examples`` (list of ``[input, output]``).
-* ``extraction`` — ``document``, ``attribute``.
-* ``table_qa`` — ``rows``, ``question``; optional ``table_name``,
-  ``primary_key``.
-
-Responses carry ``{"id", "ok", "answer", "raw", "tokens", "calls"}`` on
-success and ``{"id", "ok": false, "error"}`` on a malformed request; a bad
-request never aborts the batch.
+Responses mirror the request generation: v2 callers get
+``{"v": 2, "id", "ok", "result": {...}}`` or a structured
+``"error": {"code", "message", "field"?}`` object; v1 callers keep getting
+the flat ``{"id", "ok", "answer", "raw", "tokens", "calls"}`` / bare-string
+``"error"`` shapes.  A bad request never aborts its batch.
 
 ``serve_tcp`` exposes the same line protocol on a socket; each connection's
 batches run on a worker thread so the accept loop stays responsive.
@@ -39,15 +38,14 @@ import threading
 from dataclasses import dataclass
 from typing import Any, IO, Iterable
 
+from ..api.errors import ApiError, ErrorInfo, InvalidRequestError
+from ..api.protocol import encode_error, encode_success, parse_request
+from ..api.results import TaskResult
+from ..api.specs import spec_from_request
 from ..core.config import UniDMConfig
 from ..core.pipeline import UniDM
 from ..core.tasks.base import Task
-from ..core.tasks.imputation import ImputationTask
-from ..core.tasks.information_extraction import InformationExtractionTask
-from ..core.tasks.table_qa import TableQATask
-from ..core.tasks.transformation import TransformationTask
-from ..datalake.schema import Attribute
-from ..datalake.table import Record, Table
+from ..core.types import ManipulationResult
 from ..llm.base import LanguageModel
 from ..llm.cache import CachedLLM
 from ..llm.simulated import SimulatedLLM
@@ -66,48 +64,14 @@ class InvalidRequest:
     error: str
 
 
-def _build_table(request: dict, default_name: str) -> Table:
-    rows = request.get("rows")
-    if not isinstance(rows, list) or not rows or not isinstance(rows[0], dict):
-        raise ValueError("'rows' must be a non-empty list of objects")
-    names = list(rows[0].keys())
-    primary_key = request.get("primary_key", names[0])
-    if primary_key not in names:
-        raise ValueError(f"primary_key {primary_key!r} not among columns {names}")
-    schema = [Attribute(name, primary_key=(name == primary_key)) for name in names]
-    return Table(str(request.get("table_name", default_name)), schema, rows)
-
-
 def build_task(request: dict) -> Task:
-    """Translate one JSON request object into a pipeline task."""
-    task_type = request.get("type")
-    if task_type == "imputation":
-        table = _build_table(request, "request")
-        target = request.get("target")
-        if not isinstance(target, dict):
-            raise ValueError("'target' must be an object of known attribute values")
-        attribute = request.get("attribute")
-        if not attribute:
-            raise ValueError("'attribute' is required")
-        record = Record(table.schema, {k: v for k, v in target.items() if k in table.schema})
-        return ImputationTask(table, record, str(attribute))
-    if task_type == "transformation":
-        examples = request.get("examples")
-        if not isinstance(examples, list) or not examples:
-            raise ValueError("'examples' must be a non-empty list of [input, output] pairs")
-        pairs = [(str(pair[0]), str(pair[1])) for pair in examples]
-        return TransformationTask(str(request.get("value", "")), pairs)
-    if task_type == "extraction":
-        return InformationExtractionTask(
-            str(request.get("document", "")), str(request.get("attribute", ""))
-        )
-    if task_type == "table_qa":
-        table = _build_table(request, "request")
-        return TableQATask(table, str(request.get("question", "")))
-    raise ValueError(
-        f"unknown task type {task_type!r}; expected one of "
-        "imputation, transformation, extraction, table_qa"
-    )
+    """Translate one flat JSON task payload into a pipeline task.
+
+    Compatibility shim over the :class:`~repro.api.specs.TaskSpec` registry
+    (the PR 1 entry point); new code should use
+    :func:`repro.api.spec_from_request` or the typed specs directly.
+    """
+    return spec_from_request(request).to_task()
 
 
 class ServingService:
@@ -122,6 +86,16 @@ class ServingService:
         # requests still micro-batch *within* each flush).
         self._batch_lock = threading.Lock()
 
+    def run_tasks(self, tasks: Iterable[Task]) -> list[ManipulationResult]:
+        """Run pipeline tasks directly through the engine (in-process path).
+
+        This is what ``Client.local(...).run_tasks`` and the evaluation
+        harness use; it shares the batch lock with the JSON request path so a
+        service embedded in a bigger process stays internally consistent.
+        """
+        with self._batch_lock:
+            return self.pipeline.run_many(list(tasks), engine=self.engine)
+
     def handle_batch(self, requests: Iterable[dict]) -> list[dict]:
         """Execute a batch of request objects; responses keep request order."""
         with self._batch_lock:
@@ -129,30 +103,31 @@ class ServingService:
 
     def _handle_batch_locked(self, requests: list) -> list[dict]:
         tasks: list[Task] = []
-        slots: list[tuple[int, Any]] = []  # (request position, request id)
+        #: (request position, request id, protocol version) per queued task.
+        slots: list[tuple[int, Any, int]] = []
         responses: list[dict | None] = [None] * len(requests)
         for position, request in enumerate(requests):
             request_id = request.get("id") if isinstance(request, dict) else None
+            version = 1
             try:
                 if isinstance(request, InvalidRequest):
-                    raise ValueError(request.error)
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
-                tasks.append(build_task(request))
-                slots.append((position, request_id))
+                    raise InvalidRequestError(request.error, code="bad_json")
+                parsed = parse_request(request)
+                request_id, version = parsed.id, parsed.version
+                tasks.append(parsed.spec.to_task())
+                slots.append((position, request_id, version))
+            except ApiError as exc:
+                version = _claimed_version(request)
+                responses[position] = encode_error(exc.info, request_id, version)
             except (ValueError, KeyError, TypeError, IndexError) as exc:
-                responses[position] = {"id": request_id, "ok": False, "error": str(exc)}
+                version = _claimed_version(request)
+                error = ErrorInfo(code="invalid_request", message=str(exc))
+                responses[position] = encode_error(error, request_id, version)
         if tasks:
             results = self.pipeline.run_many(tasks, engine=self.engine)
-            for (position, request_id), result in zip(slots, results):
-                responses[position] = {
-                    "id": request_id,
-                    "ok": True,
-                    "answer": result.value,
-                    "raw": result.raw_answer,
-                    "tokens": result.total_tokens,
-                    "calls": result.usage.calls if result.usage else 0,
-                }
+            for (position, request_id, version), result in zip(slots, results):
+                payload = TaskResult.from_manipulation(result, request_id=request_id)
+                responses[position] = encode_success(payload, request_id, version)
         self.requests_served += len(requests)
         return [response for response in responses if response is not None]
 
@@ -230,6 +205,13 @@ class ServingService:
                 writer.close()
 
         return await asyncio.start_server(handle, host, port)
+
+
+def _claimed_version(request: Any) -> int:
+    """Best-effort protocol generation of a failed request (for its response)."""
+    if isinstance(request, dict) and isinstance(request.get("v"), int) and request["v"] >= 2:
+        return 2
+    return 1
 
 
 def build_service(

@@ -1,0 +1,53 @@
+"""Shared fixtures for the client-API tests: one spec of each task type."""
+
+import pytest
+
+from repro.api import (
+    EntityResolutionSpec,
+    ErrorDetectionSpec,
+    ExtractionSpec,
+    ImputationSpec,
+    JoinDiscoverySpec,
+    TableQASpec,
+    TransformationSpec,
+)
+
+
+def make_all_seven_specs():
+    """One representative, valid spec per registered task type."""
+    return [
+        TransformationSpec(
+            value="19990415",
+            examples=[["20000101", "2000-01-01"], ["20101231", "2010-12-31"]],
+        ),
+        ImputationSpec(
+            rows=[
+                {"city": "Florence", "country": "Italy"},
+                {"city": "Madrid", "country": "Spain"},
+            ],
+            target={"city": "Milan"},
+            attribute="country",
+        ),
+        ExtractionSpec(document="Kevin Durant plays basketball.", attribute="player"),
+        TableQASpec(rows=[{"player": "Jordan", "team": "Bulls"}], question="which team?"),
+        EntityResolutionSpec(
+            record_a={"name": "iphone 12", "brand": "apple"},
+            record_b={"name": "iPhone 12", "brand": "Apple"},
+        ),
+        ErrorDetectionSpec(
+            rows=[{"city": "Rome", "zip": "00100"}, {"city": "Pisa", "zip": "56100"}],
+            target={"city": "Rome", "zip": "xx"},
+            attribute="zip",
+        ),
+        JoinDiscoverySpec(
+            table_a={"name": "rank", "rows": [{"country_abrv": "GER", "rank": 1}]},
+            column_a="country_abrv",
+            table_b={"name": "geo", "rows": [{"ISO": "GER", "continent": "Europe"}]},
+            column_b="ISO",
+        ),
+    ]
+
+
+@pytest.fixture
+def all_seven():
+    return make_all_seven_specs()

@@ -7,8 +7,11 @@ import json
 import pytest
 
 from repro.core import (
+    EntityResolutionTask,
+    ErrorDetectionTask,
     ImputationTask,
     InformationExtractionTask,
+    JoinDiscoveryTask,
     TableQATask,
     TransformationTask,
 )
@@ -57,6 +60,39 @@ def test_build_extraction_and_table_qa_tasks():
     )
 
 
+def test_build_entity_resolution_error_detection_and_join_tasks():
+    # The three task types the PR 1 service rejected as "unknown".
+    assert isinstance(
+        build_task(
+            {"type": "entity_resolution", "record_a": {"name": "a"}, "record_b": {"name": "b"}}
+        ),
+        EntityResolutionTask,
+    )
+    assert isinstance(
+        build_task(
+            {
+                "type": "error_detection",
+                "rows": [{"city": "Rome", "zip": "00100"}],
+                "target": {"city": "Rome", "zip": "xx"},
+                "attribute": "zip",
+            }
+        ),
+        ErrorDetectionTask,
+    )
+    assert isinstance(
+        build_task(
+            {
+                "type": "join_discovery",
+                "table_a": {"name": "rank", "rows": [{"abrv": "GER"}]},
+                "column_a": "abrv",
+                "table_b": {"name": "geo", "rows": [{"iso": "GER"}]},
+                "column_b": "iso",
+            }
+        ),
+        JoinDiscoveryTask,
+    )
+
+
 @pytest.mark.parametrize(
     "request_obj",
     [
@@ -66,6 +102,12 @@ def test_build_extraction_and_table_qa_tasks():
         {"type": "imputation", "rows": [{"a": 1}], "target": {"a": 1}},
         {"type": "imputation", "rows": [{"a": 1}], "target": {}, "attribute": "a", "primary_key": "z"},
         {"type": "transformation", "value": "a", "examples": []},
+        # Short/ragged example pairs used to escape as IndexError mid-build.
+        {"type": "transformation", "value": "a", "examples": [["x"]]},
+        {"type": "entity_resolution", "record_a": {}, "record_b": {"a": 1}},
+        {"type": "error_detection", "rows": [{"a": 1}], "target": {}, "attribute": "a"},
+        {"type": "join_discovery", "table_a": {"rows": []}, "column_a": "a",
+         "table_b": {"rows": [{"b": 1}]}, "column_b": "b"},
     ],
 )
 def test_build_task_rejects_malformed_requests(request_obj):
@@ -182,3 +224,73 @@ def test_tcp_round_trip(service):
     first, second = asyncio.run(scenario())
     assert first["id"] == 1 and first["ok"]
     assert second["id"] == 2 and not second["ok"]
+
+
+# ------------------------------------------------------- protocol v2 / coverage
+def test_all_seven_task_types_served_over_the_wire(service):
+    requests = [
+        {"id": "imp", "type": "imputation",
+         "rows": [{"city": "Florence", "country": "Italy"}],
+         "target": {"city": "Milan"}, "attribute": "country"},
+        {"id": "tra", "type": "transformation", "value": "a", "examples": [["x", "X"]]},
+        {"id": "ext", "type": "extraction", "document": "doc", "attribute": "name"},
+        {"id": "tqa", "type": "table_qa", "rows": [{"p": "Jordan", "t": "Bulls"}],
+         "question": "which team?"},
+        {"id": "er", "type": "entity_resolution",
+         "record_a": {"name": "iphone"}, "record_b": {"name": "iPhone"}},
+        {"id": "ed", "type": "error_detection", "rows": [{"a": "1", "b": "2"}],
+         "target": {"a": "1", "b": "zz"}, "attribute": "b"},
+        {"id": "jd", "type": "join_discovery",
+         "table_a": {"name": "t1", "rows": [{"abrv": "GER"}]}, "column_a": "abrv",
+         "table_b": {"name": "t2", "rows": [{"iso": "GER"}]}, "column_b": "iso"},
+    ]
+    responses = service.handle_batch(requests)
+    assert [r["id"] for r in responses] == ["imp", "tra", "ext", "tqa", "er", "ed", "jd"]
+    assert all(r["ok"] for r in responses), responses
+
+
+def test_v2_envelope_success_and_error_shapes(service):
+    ok, bad = service.handle_batch(
+        [
+            {"v": 2, "id": 1,
+             "task": {"type": "transformation", "value": "a", "examples": [["x", "X"]]}},
+            {"v": 2, "id": 2, "task": {"type": "transformation", "value": "a",
+                                       "examples": [["x"]]}},
+        ]
+    )
+    assert ok["v"] == 2 and ok["ok"] and ok["id"] == 1
+    assert set(ok["result"]) == {"answer", "raw", "task_type", "tokens", "calls"}
+    assert ok["result"]["task_type"] == "data transformation"
+    assert bad["v"] == 2 and not bad["ok"]
+    assert bad["error"]["code"] == "invalid_request"
+    assert bad["error"]["field"] == "examples"
+
+
+def test_v2_requires_task_object_and_known_version(service):
+    missing_task, bad_version = service.handle_batch(
+        [{"v": 2, "id": 1}, {"v": 3, "id": 2, "task": {"type": "extraction"}}]
+    )
+    assert not missing_task["ok"] and missing_task["error"]["code"] == "protocol_error"
+    assert not bad_version["ok"] and bad_version["error"]["code"] == "protocol_error"
+    assert "version" in bad_version["error"]["message"]
+
+
+def test_v1_and_v2_responses_mirror_their_request_generation(service):
+    v1, v2 = service.handle_batch(
+        [
+            {"id": "old", "type": "transformation", "value": "a", "examples": [["x", "X"]]},
+            {"v": 2, "id": "new",
+             "task": {"type": "transformation", "value": "a", "examples": [["x", "X"]]}},
+        ]
+    )
+    assert set(v1) == {"id", "ok", "answer", "raw", "tokens", "calls"}
+    assert set(v2) == {"v", "id", "ok", "result"}
+    assert v1["answer"] == v2["result"]["answer"]
+
+
+def test_v1_error_stays_a_bare_string(service):
+    response = service.handle_request({"id": 1, "type": "transformation",
+                                       "value": "a", "examples": [["x"]]})
+    assert response["ok"] is False
+    assert isinstance(response["error"], str)
+    assert "examples" in response["error"]
