@@ -1,0 +1,145 @@
+"""Benchmark: the flow executor vs the per-row loop it replaces.
+
+The workload mirrors a small lake table with duplicated listings (the same
+restaurant scraped three times): a three-stage cleaning pipeline
+(detect errors -> impute the missing city -> normalise the phone format)
+runs once as the naive per-row loop the old examples hand-wired — one
+``run_task`` per compiled work item — and once through
+``Pipeline.run``, whose planner deduplicates specs across stages and
+partitions before batching them through the engine.
+
+Claim checked (the flow acceptance criterion): the pipeline needs at least
+2x fewer LLM calls than the per-row loop on this workload, with the same
+output shape.  Results are written to ``BENCH_flow.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.api import Client
+from repro.core import UniDMConfig
+from repro.datalake import Table
+from repro.datasets import load_dataset
+from repro.flow import DetectErrors, Impute, Pipeline, Transform
+from repro.llm import SimulatedLLM
+
+#: Distinct listings; each appears three times in the lake table.
+N_BASE_ROWS = 16
+DUPLICATION = 3
+PARTITION_SIZE = 12
+
+PHONE_EXAMPLES = [["212-555-0199", "(212) 555 0199"], ["415-555-0134", "(415) 555 0134"]]
+
+
+def _workload():
+    """A duplicated, partially-masked restaurant table plus its knowledge."""
+    dataset = load_dataset("restaurant", seed=0, n_records=N_BASE_ROWS, n_tasks=8)
+    base_rows = dataset.table.to_dicts()  # n_tasks of them have city masked
+    rows = [dict(row) for row in base_rows for _ in range(DUPLICATION)]
+    return Table.from_dicts("restaurant_lake", rows), dataset.knowledge
+
+
+def _make_client(knowledge):
+    return Client.local(
+        llm=SimulatedLLM(knowledge=knowledge, seed=0),
+        config=UniDMConfig.full(seed=0),
+        batch_size=8,
+        workers=8,
+    )
+
+
+def _make_pipeline():
+    return Pipeline(
+        [
+            DetectErrors("phone"),
+            Impute("city"),
+            Transform("phone", examples=PHONE_EXAMPLES, output_column="intl"),
+        ],
+        partition_size=PARTITION_SIZE,
+    )
+
+
+def _run_per_row_loop(pipeline, table, client):
+    """The hand-wired loop the flow API replaces: one run_task per work item."""
+    from repro.flow.executor import _chunks, _segments
+
+    answers = {}
+    current = table
+    n_items = 0
+    for _, size, stages in _segments(pipeline):
+        parts = []
+        for part in _chunks(current, size):
+            for _, operator in stages:
+                items = operator.compile(part)
+                n_items += len(items)
+                results = [
+                    (item, client.run_task(item.spec.to_task()).value)
+                    for item in items
+                ]
+                part = operator.apply(part, results, answers)
+            parts.append(part)
+        if parts:
+            current = Table.concat(parts, name=current.name)
+    return current, n_items
+
+
+def test_flow_executor_halves_llm_calls_vs_per_row_loop(benchmark):
+    table, knowledge = _workload()
+    pipeline = _make_pipeline()
+
+    # Baseline: fresh stack, naive per-row loop.
+    loop_client = _make_client(knowledge)
+    started = time.perf_counter()
+    loop_table, loop_items = _run_per_row_loop(pipeline, table, loop_client)
+    loop_elapsed = time.perf_counter() - started
+    loop_calls = loop_client.pipeline.llm.usage.calls
+    loop_tokens = loop_client.pipeline.llm.usage.total_tokens
+
+    # Flow executor: fresh identical stack, deduplicated + batched.
+    flow_client = _make_client(knowledge)
+    result = run_once(benchmark, lambda: pipeline.run(table, client=flow_client))
+    flow_calls = flow_client.pipeline.llm.usage.calls
+    flow_tokens = flow_client.pipeline.llm.usage.total_tokens
+
+    # Same workload, same shape.
+    assert len(result.table) == len(loop_table) == len(table)
+    assert result.table.schema.names == loop_table.schema.names
+    assert result.report.specs == loop_items
+
+    # The acceptance claim: >= 2x fewer LLM calls via dedup + batching.
+    assert flow_calls * 2 <= loop_calls, (
+        f"flow used {flow_calls} LLM calls vs {loop_calls} for the per-row loop"
+    )
+    assert result.report.dedup_factor >= 2.0
+
+    payload = {
+        "workload": {
+            "rows": len(table),
+            "distinct_listings": N_BASE_ROWS,
+            "duplication": DUPLICATION,
+            "partition_size": PARTITION_SIZE,
+            "stages": [stage.op for stage in pipeline.stages],
+        },
+        "per_row_loop": {
+            "llm_calls": loop_calls,
+            "llm_tokens": loop_tokens,
+            "work_items": loop_items,
+            "elapsed_s": round(loop_elapsed, 4),
+        },
+        "flow_executor": {
+            "llm_calls": flow_calls,
+            "llm_tokens": flow_tokens,
+            "specs_compiled": result.report.specs,
+            "specs_submitted": result.report.submitted,
+            "specs_reused": result.report.reused,
+            "dedup_factor": round(result.report.dedup_factor, 3),
+            "waves": result.report.waves,
+            "elapsed_s": round(result.report.elapsed, 4),
+        },
+        "llm_call_reduction": round(loop_calls / flow_calls, 3) if flow_calls else None,
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_flow.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,11 +1,18 @@
-"""Data-cleaning workflow: error detection + imputation over a benchmark lake.
+"""Data-cleaning workflow as one declarative flow pipeline.
 
-This mirrors the data-lake motivation of the paper's introduction: a dirty
-table arrives (here, the synthetic Hospital benchmark with 5% injected typos
-and the Restaurant benchmark with masked cities), and the same unified
-pipeline — driven through the :class:`repro.api.Client` facade — first flags
-suspicious cells and then fills in missing values, with no per-task model
-training or rule engineering.
+This mirrors the data-lake motivation of the paper's introduction — a dirty
+table arrives and the same unified framework flags suspicious cells, fills in
+missing values and normalises formats — but instead of hand-wiring per-row
+loops, the whole workload is one :class:`repro.flow.Pipeline`:
+
+    detect errors on "phone"  ->  impute missing "city"  ->  transform
+    "phone" into an international format
+
+The planner compiles each stage into batches of typed task specs, fuses
+independent stages into shared submission waves, deduplicates repeated
+prompts across stages and partitions (lake tables are full of duplicated
+listings), and streams everything partition-at-a-time through the batched
+serving engine.
 
 Run with::
 
@@ -17,50 +24,95 @@ from __future__ import annotations
 from repro.api import Client
 from repro.core import UniDMConfig
 from repro.datasets import load_dataset
-from repro.eval import evaluate, format_table
-from repro.experiments.common import make_unidm
+from repro.eval import column_accuracy, changed_cells, flow_stage_rows, format_table
+from repro.datalake import Table
+from repro.flow import DetectErrors, Impute, Pipeline, Transform
+from repro.llm import SimulatedLLM
+
+#: Normalise phones to bare digits (a pattern the example pairs teach).
+PHONE_EXAMPLES = [
+    ["212-555-0199", "2125550199"],
+    ["415-555-0134", "4155550134"],
+]
+
+#: Each listing appears twice in the lake table, as crawled tables tend to.
+DUPLICATION = 2
 
 
-def detect_errors(n_cells: int = 60) -> list[dict]:
-    dataset = load_dataset("hospital", seed=0, n_records=60)
-    method = make_unidm(dataset, seed=2)
-    result = evaluate(method, dataset, max_tasks=n_cells)
-    flagged = [
-        {"cell": task.query(), "flagged": bool(pred), "truly_dirty": bool(truth)}
-        for task, pred, truth in zip(
-            dataset.subset(n_cells, seed=0).tasks, result.predictions, result.ground_truth
-        )
-        if pred or truth
-    ]
-    print(format_table(flagged[:12], title=f"Error detection (F1 = {result.score_percent:.1f}%)"))
-    return flagged
-
-
-def impute_missing(n_cells: int = 20) -> None:
-    dataset = load_dataset("restaurant", seed=0, n_records=120, n_tasks=n_cells)
-    client = Client.local(pipeline=make_unidm(dataset, seed=2).pipeline)
-    rows = []
-    for task, truth in list(zip(dataset.tasks, dataset.ground_truth))[:8]:
-        result = client.run_task(task)
-        rows.append(
-            {
-                "restaurant": task.entity_key(),
-                "imputed_city": result.value,
-                "true_city": truth,
-                "correct": result.value == truth,
-            }
-        )
-    print(format_table(rows, title="Missing-city imputation (sample of 8 repairs)"))
-    accuracy = evaluate(make_unidm(dataset, seed=2), dataset).score_percent
-    print(f"Imputation accuracy over {len(dataset)} masked cells: {accuracy:.1f}%")
+def build_workload():
+    """A restaurant table with masked cities, duplicated as lake crawls are."""
+    dataset = load_dataset("restaurant", seed=0, n_records=40, n_tasks=12)
+    rows = [dict(row) for row in dataset.table.to_dicts() for _ in range(DUPLICATION)]
+    table = Table.from_dicts("restaurant_lake", rows)
+    # Lake row i is copy i % DUPLICATION of the original row i // DUPLICATION.
+    masked = {
+        task.record.record_id: value
+        for task, value in zip(dataset.tasks, dataset.ground_truth)
+    }
+    truth = {
+        lake_index: masked[lake_index // DUPLICATION]
+        for lake_index in range(len(table))
+        if lake_index // DUPLICATION in masked
+    }
+    return table, dataset, truth
 
 
 def main() -> None:
-    print("Step 1 — flag dirty cells with the unified pipeline\n")
-    detect_errors()
-    print("\nStep 2 — repair missing values with the same pipeline\n")
-    impute_missing()
-    print("\nBoth steps used the identical UniDM configuration:", UniDMConfig.full())
+    table, dataset, truth = build_workload()
+    flow = Pipeline(
+        [
+            DetectErrors("phone"),
+            Impute("city"),
+            Transform("phone", examples=PHONE_EXAMPLES, output_column="intl"),
+        ],
+        name="clean-restaurants",
+        partition_size=20,
+    )
+    print(f"{flow!r}")
+    print("column lineage:", flow.lineage(table))
+
+    client = Client.local(
+        llm=SimulatedLLM(knowledge=dataset.knowledge, seed=0),
+        config=UniDMConfig.full(seed=0),
+        batch_size=8,
+        workers=8,
+    )
+    with client:
+        result = flow.run(table, client=client)
+
+    print()
+    print(format_table(flow_stage_rows(result.report), title="Stage metrics"))
+    print(
+        f"\n{result.report.specs} work items -> {result.report.submitted} submitted "
+        f"specs ({result.report.dedup_factor:.1f}x dedup), "
+        f"{result.report.waves} waves, {result.report.elapsed:.2f}s"
+    )
+    print("cells changed:", changed_cells(table, result.table))
+
+    # Score the repairs: compare imputed cities against the masked truth.
+    repaired, expected = [], []
+    for record in result.table:
+        if record.record_id in truth:
+            repaired.append({"city": record["city"]})
+            expected.append({"city": truth[record.record_id]})
+    accuracy = column_accuracy(
+        Table.from_dicts("repaired", repaired),
+        Table.from_dicts("expected", expected),
+        "city",
+    )
+    print(f"imputation accuracy over {len(repaired)} masked cells: {100 * accuracy:.1f}%")
+
+    sample = [
+        {
+            "name": record["name"],
+            "city": record["city"],
+            "flagged_phone": record["phone_error"],
+            "digits": record["intl"],
+        }
+        for record in list(result.table)[:6]
+    ]
+    print()
+    print(format_table(sample, title="Cleaned table (first 6 rows)"))
 
 
 if __name__ == "__main__":

@@ -1,11 +1,17 @@
-"""Exploring a data lake: join discovery, TableQA and document extraction.
+"""Exploring a data lake with flow pipelines: join, ask, extract.
 
-The appendix tasks show that the same unified pipeline generalises beyond
-cell-level cleaning: it decides which columns of a lake join (Figure 4),
-answers aggregate questions over a table (Figure 3), and populates a
-structured view from semi-structured documents (Figure 6).  This script runs
-one worked example of each, all three driven through the same
-:class:`repro.api.Client` facade — one entry point, three task types.
+The appendix tasks show that the unified framework generalises beyond
+cell-level cleaning; this script drives all three lake workloads through
+declarative :class:`repro.flow.Pipeline` stages instead of per-row loops:
+
+* **Join** — an LLM-gated left join: one join-discovery task decides whether
+  two lake columns are joinable, and only then are the reference columns
+  merged in (Figure 4);
+* **Ask** — whole-table question answering as a pipeline stage whose answers
+  land in the flow's ``answers`` channel (Figure 3);
+* **Extract** — populating a structured view from semi-structured documents;
+  the three extraction stages write disjoint columns, so the planner fuses
+  them into a single submission wave (Figure 6).
 
 Run with::
 
@@ -16,56 +22,103 @@ from __future__ import annotations
 
 from repro.api import Client
 from repro.core import UniDMConfig
+from repro.datalake import Table
 from repro.datasets import load_dataset
-from repro.eval import format_table
+from repro.eval import flow_stage_rows, format_table
 from repro.experiments.common import make_llm
+from repro.flow import Ask, Extract, Join, Pipeline
 
 
-def join_discovery() -> None:
-    dataset = load_dataset("nextiajd", seed=0, n_pairs=12)
-    client = Client.local(llm=make_llm(dataset, seed=2), config=UniDMConfig.full(seed=0))
-    rows = []
-    for task, truth in list(zip(dataset.tasks, dataset.ground_truth))[:8]:
-        result = client.run_task(task)
-        rows.append(
-            {
-                "candidate pair": task.query(),
-                "predicted": "joinable" if result.value else "not joinable",
-                "label": "joinable" if truth else "not joinable",
-            }
-        )
-    print(format_table(rows, title="Join discovery over the lake's column pairs"))
-
-
-def table_question_answering() -> None:
-    dataset = load_dataset("wiki_table_questions", seed=0, n_tables=2)
-    client = Client.local(
+def _client(dataset, **config_overrides) -> Client:
+    return Client.local(
         llm=make_llm(dataset, seed=2),
-        config=UniDMConfig.full(seed=0, candidate_sample_size=10),
+        config=UniDMConfig.full(seed=0, **config_overrides),
+        batch_size=8,
+        workers=8,
     )
-    rows = []
-    for task, truth in list(zip(dataset.tasks, dataset.ground_truth))[:4]:
-        result = client.run_task(task)
-        rows.append({"question": task.question, "answer": result.value, "expected": truth})
-    print(format_table(rows, title="Table question answering"))
 
 
-def information_extraction() -> None:
+def llm_gated_join() -> None:
+    """Enrich the FIFA ranking table with country names — if the LLM agrees."""
+    dataset = load_dataset("nextiajd", seed=0, n_pairs=12)
+    ranking = dataset.tables["fifa_ranking"]
+    geo = dataset.tables["countries_and_continents"]
+    flow = Pipeline(
+        [
+            # Joinable pair: country_abrv lines up with the ISO code.
+            Join(geo, on="country_abrv", other_on="ISO", prefix="geo_"),
+            # Nonsense pair: country codes do not join with order ids.
+            Join(dataset.tables["orders"], on="country_abrv", other_on="order_id",
+                 other_name="orders", prefix="order_"),
+        ],
+        name="lake-join",
+    )
+    with _client(dataset) as client:
+        result = flow.run(ranking, client=client)
+    print("join decisions:", result.answers)
+    sample = [
+        {k: record[k] for k in ("country_full", "country_abrv", "geo_name", "order_item_name")}
+        for record in list(result.table)[:5]
+    ]
+    print(format_table(sample, title="FIFA ranking after the two gated joins"))
+
+
+def whole_table_questions() -> None:
+    """Aggregate questions over one table, answered as pipeline stages."""
+    dataset = load_dataset("wiki_table_questions", seed=0, n_tables=2)
+    by_table: dict[str, list] = {}
+    for task, truth in zip(dataset.tasks, dataset.ground_truth):
+        by_table.setdefault(task.table().name, []).append((task, truth))
+    name, entries = next(iter(by_table.items()))
+    flow = Pipeline(
+        [Ask(task.question, name=f"q{i}") for i, (task, _) in enumerate(entries)],
+        name="table-qa",
+    )
+    with _client(dataset, candidate_sample_size=10) as client:
+        result = flow.run(entries[0][0].table(), client=client)
+    rows = [
+        {"question": task.question, "answer": result.answers[f"q{i}"], "expected": truth}
+        for i, (task, truth) in enumerate(entries)
+    ]
+    print(format_table(rows, title=f"Questions over table {name!r}"))
+
+
+def document_extraction() -> None:
+    """Build a structured player view out of semi-structured pages."""
     dataset = load_dataset("nba_players", seed=0, n_documents=6)
-    client = Client.local(llm=make_llm(dataset, seed=2), config=UniDMConfig.full(seed=0))
-    rows = []
-    for task, truth in list(zip(dataset.tasks, dataset.ground_truth))[:8]:
-        result = client.run_task(task)
-        rows.append({"attribute": task.attribute, "extracted": result.value, "expected": truth})
-    print(format_table(rows, title="Closed information extraction from player pages"))
+    pages = Table.from_dicts(
+        "player_pages",
+        [{"page": document} for document in
+         dict.fromkeys(task.document for task in dataset.tasks)],
+    )
+    flow = Pipeline(
+        [
+            Extract("page", "player"),
+            Extract("page", "college"),
+            Extract("page", "position"),
+        ],
+        name="player-view",
+    )
+    with _client(dataset) as client:
+        result = flow.run(pages, client=client)
+    view = [
+        {k: record[k] for k in ("player", "college", "position")}
+        for record in result.table
+    ]
+    print(format_table(view, title="Structured view extracted from player pages"))
+    print(format_table(flow_stage_rows(result.report), title="Stage metrics"))
+    print(
+        f"waves: {result.report.waves} (the three extract stages write "
+        "disjoint columns, so they share one submission wave)"
+    )
 
 
 def main() -> None:
-    join_discovery()
+    llm_gated_join()
     print()
-    table_question_answering()
+    whole_table_questions()
     print()
-    information_extraction()
+    document_extraction()
 
 
 if __name__ == "__main__":

@@ -45,6 +45,7 @@ from .protocol import (
     parse_request,
     request_version,
 )
+from .pipeline_spec import PipelineSpec
 from .results import TaskResult
 from .specs import (
     SPEC_TYPES,
@@ -73,6 +74,7 @@ __all__ = [
     "JoinDiscoverySpec",
     "PROTOCOL_VERSION",
     "ParsedRequest",
+    "PipelineSpec",
     "ProtocolError",
     "SPEC_TYPES",
     "SUPPORTED_VERSIONS",

@@ -1,0 +1,108 @@
+"""The pipeline wire type: a whole dataflow plan as one request.
+
+:class:`PipelineSpec` registers under the wire type ``"pipeline"`` next to
+the seven per-task specs, so a declarative :class:`~repro.flow.Pipeline`
+plus its input table can travel to the TCP service as a single v2 request::
+
+    {"v": 2, "id": 7, "task": {
+        "type": "pipeline",
+        "rows": [{"name": "ribeye king", "phone": "212-555-0199", "city": null}, ...],
+        "stages": [{"op": "detect_errors", "column": "phone"},
+                   {"op": "impute", "column": "city"}],
+        "partition_size": 32}}
+
+The service answers with the processed table, the table-level answers and
+the execution report (see
+:meth:`repro.serving.service.ServingService` — the service runs the full
+streaming flow executor next to its engine, so one round trip covers the
+whole plan).  Unlike the per-task specs a pipeline is not a single
+:class:`~repro.core.tasks.base.Task`; ``to_task()`` therefore refuses, and
+the service routes pipeline requests to the plan executor instead.
+
+The flow package is imported lazily: it depends on these spec modules, so a
+module-level import would be circular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar, Mapping, Sequence
+
+from .errors import InvalidRequestError
+from .specs import TaskSpec, _check_table_fields, _require, _table_from_rows, register_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datalake.table import Table
+    from ..flow.pipeline import Pipeline
+
+
+@register_spec
+@dataclass(frozen=True)
+class PipelineSpec(TaskSpec):
+    """Run a declarative flow pipeline over an inline table."""
+
+    type: ClassVar[str] = "pipeline"
+
+    rows: Sequence[Mapping[str, Any]]
+    stages: Sequence[Mapping[str, Any]]
+    table_name: str = "request"
+    primary_key: str | None = None
+    partition_size: int | None = None
+    name: str = "flow"
+
+    def validate(self) -> None:
+        from ..flow.operators import FlowError
+        from ..flow.pipeline import Pipeline
+
+        names = _check_table_fields(self.rows, self.table_name, self.primary_key)
+        _require(
+            isinstance(self.stages, Sequence)
+            and not isinstance(self.stages, (str, bytes))
+            and len(self.stages) > 0,
+            "'stages' must be a non-empty list of operator objects",
+            "stages",
+        )
+        _require(
+            self.partition_size is None
+            or (isinstance(self.partition_size, int) and self.partition_size >= 1),
+            "'partition_size' must be a positive integer",
+            "partition_size",
+        )
+        try:
+            pipeline = Pipeline.from_payload(
+                {
+                    "name": self.name,
+                    "stages": [dict(stage) for stage in self.stages],
+                    "partition_size": self.partition_size,
+                }
+            )
+            pipeline.validate(names)
+        except FlowError as exc:
+            raise InvalidRequestError(str(exc), field="stages") from None
+
+    # -- materialisation -----------------------------------------------------
+    def to_pipeline(self) -> "Pipeline":
+        """The validated flow pipeline this spec describes."""
+        from ..flow.pipeline import Pipeline
+
+        return Pipeline.from_payload(
+            {
+                "name": self.name,
+                "stages": [dict(stage) for stage in self.stages],
+                "partition_size": self.partition_size,
+            }
+        )
+
+    def to_table(self) -> "Table":
+        """The inline input table this spec carries."""
+        return _table_from_rows(self.rows, self.table_name, self.primary_key)
+
+    def to_task(self):
+        raise InvalidRequestError(
+            "a pipeline is a plan of tasks, not a single task; submit it "
+            "through a Client (the service routes it to the flow executor)",
+            field="type",
+        )
+
+
+__all__ = ["PipelineSpec"]

@@ -226,6 +226,73 @@ class Table:
             out.append(r.copy())
         return out
 
+    def partitions(self, size: int) -> Iterator["Table"]:
+        """Yield consecutive row chunks of ``size`` as stand-alone tables.
+
+        The last partition may be shorter; records keep their original
+        ``record_id``, so per-partition results can be written back to the
+        source rows.  This is the streaming unit of the flow executor: a large
+        table is processed partition-at-a-time so that prompt material is
+        bounded by the partition size, never the table size.
+        """
+        if size < 1:
+            raise ValueError("partition size must be positive")
+        for start in range(0, len(self._records), size):
+            out = Table(self.name, self.schema, description=self.description)
+            for r in self._records[start : start + size]:
+                out.append(r.copy())
+            yield out
+
+    @classmethod
+    def concat(cls, parts: Sequence["Table"], name: str | None = None) -> "Table":
+        """Stitch same-schema tables (e.g. processed partitions) back together."""
+        if not parts:
+            raise ValueError("concat needs at least one table")
+        first = parts[0]
+        out = cls(name or first.name, first.schema, description=first.description)
+        for part in parts:
+            if part.schema.names != first.schema.names:
+                raise ValueError(
+                    f"cannot concat tables with different columns: "
+                    f"{part.schema.names} vs {first.schema.names}"
+                )
+            for r in part:
+                out.append(r.copy())
+        return out
+
+    def with_column(
+        self,
+        name: str,
+        values: Sequence[Any] | None = None,
+        default: Any = None,
+        attribute: Attribute | None = None,
+    ) -> "Table":
+        """Return a copy with column ``name`` added (or replaced, if present).
+
+        ``values`` must align with the records when given; otherwise every
+        cell gets ``default``.  Derived columns written by flow operators
+        (error flags, extracted attributes, joined columns) enter tables
+        through here, which keeps schema and rows consistent.
+        """
+        if values is not None and len(values) != len(self._records):
+            raise ValueError(
+                f"column {name!r}: got {len(values)} values for "
+                f"{len(self._records)} records"
+            )
+        attr = attribute or Attribute(name)
+        if name in self.schema:
+            schema = Schema(
+                [attr if a.name == name else a for a in self.schema.attributes]
+            )
+        else:
+            schema = Schema(list(self.schema.attributes) + [attr])
+        out = Table(self.name, schema, description=self.description)
+        for i, r in enumerate(self._records):
+            row = r.to_dict()
+            row[name] = values[i] if values is not None else default
+            out.append(Record(schema, row, record_id=r.record_id))
+        return out
+
     def copy(self) -> "Table":
         out = Table(self.name, self.schema, description=self.description)
         for r in self._records:

@@ -1,5 +1,11 @@
 """Metrics, evaluation harness, ablation driver and report formatting."""
 
+from .flow import (
+    changed_cells,
+    column_accuracy,
+    flow_stage_rows,
+    table_cell_accuracy,
+)
 from .ablation import (
     IMPUTATION_ABLATION_LADDER,
     TRANSFORMATION_ABLATION_LADDER,
@@ -35,10 +41,14 @@ __all__ = [
     "TRANSFORMATION_ABLATION_LADDER",
     "ablation_rows",
     "accuracy",
+    "changed_cells",
+    "column_accuracy",
     "confusion",
     "evaluate",
     "evaluate_many",
+    "flow_stage_rows",
     "set_default_engine",
+    "table_cell_accuracy",
     "f1_score",
     "format_markdown_table",
     "format_table",

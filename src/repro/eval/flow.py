@@ -1,0 +1,109 @@
+"""Pipeline-level evaluation: scoring whole-table flow outputs.
+
+The per-task harness (:mod:`repro.eval.harness`) scores one prediction per
+task instance; flow pipelines instead produce a *table*.  The helpers here
+compare tables cell-by-cell (with the same value-matching rules the per-task
+metrics use), summarise what a pipeline changed, and turn a
+:class:`~repro.flow.executor.FlowReport` into rows for
+:func:`~repro.eval.reporting.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..datalake.table import Table, is_missing
+from .metrics import values_match
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..flow.executor import FlowReport
+
+
+def _check_aligned(predicted: Table, expected: Table, columns: Sequence[str]) -> None:
+    if len(predicted) != len(expected):
+        raise ValueError(
+            f"tables are not aligned: {len(predicted)} vs {len(expected)} records"
+        )
+    for column in columns:
+        if column not in predicted.schema or column not in expected.schema:
+            raise KeyError(f"column {column!r} missing from one of the tables")
+
+
+def column_accuracy(predicted: Table, expected: Table, column: str) -> float:
+    """Fraction of row-aligned cells of ``column`` that match."""
+    _check_aligned(predicted, expected, [column])
+    if len(predicted) == 0:
+        return 0.0
+    hits = sum(
+        1
+        for p, e in zip(predicted.column(column), expected.column(column))
+        if values_match(p, e)
+    )
+    return hits / len(predicted)
+
+
+def table_cell_accuracy(
+    predicted: Table, expected: Table, columns: Sequence[str] | None = None
+) -> float:
+    """Fraction of matching cells over the given (default: shared) columns."""
+    if columns is None:
+        columns = [c for c in predicted.schema.names if c in expected.schema]
+    columns = list(columns)
+    _check_aligned(predicted, expected, columns)
+    total = len(predicted) * len(columns)
+    if total == 0:
+        return 0.0
+    hits = sum(
+        1
+        for column in columns
+        for p, e in zip(predicted.column(column), expected.column(column))
+        if values_match(p, e)
+    )
+    return hits / total
+
+
+def changed_cells(before: Table, after: Table) -> dict[str, int]:
+    """Per-column count of cells a pipeline changed (shared columns only).
+
+    Columns added by the pipeline are reported with the count of their
+    non-missing cells, so repairs and enrichments both show up.
+    """
+    if len(before) != len(after):
+        raise ValueError(
+            f"tables are not aligned: {len(before)} vs {len(after)} records"
+        )
+    changes: dict[str, int] = {}
+    for column in after.schema.names:
+        if column in before.schema:
+            count = sum(
+                1
+                for b, a in zip(before.column(column), after.column(column))
+                if (b != a) and not (is_missing(b) and is_missing(a))
+            )
+        else:
+            count = sum(1 for v in after.column(column) if not is_missing(v))
+        if count:
+            changes[column] = count
+    return changes
+
+
+def flow_stage_rows(report: "FlowReport") -> list[dict[str, Any]]:
+    """One summary row per stage, ready for ``format_table``."""
+    return [
+        {
+            "stage": f"{stage.index}:{stage.op}",
+            "items": stage.items,
+            "submitted": stage.submitted,
+            "reused": stage.reused,
+            "partitions": stage.partitions,
+        }
+        for stage in report.stages
+    ]
+
+
+__all__ = [
+    "changed_cells",
+    "column_accuracy",
+    "flow_stage_rows",
+    "table_cell_accuracy",
+]

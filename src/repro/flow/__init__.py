@@ -1,0 +1,76 @@
+"""Declarative table-level dataflow pipelines over the unified task API.
+
+The modules under :mod:`repro.core` solve one task instance; :mod:`repro.api`
+submits one typed request; this package composes *whole-table* workloads out
+of them.  A :class:`Pipeline` of declarative operators (``DetectErrors`` →
+``Impute`` → ``Transform`` → ...) compiles into deduplicated batches of
+:class:`~repro.api.specs.TaskSpec` requests (:mod:`repro.flow.planner`) and
+streams them partition-at-a-time through a local or remote
+:class:`~repro.api.Client` (:mod:`repro.flow.executor`) — turning the seven
+isolated task reproductions into one composable system.
+
+Quickstart::
+
+    from repro.api import Client
+    from repro.flow import Impute, Pipeline, Transform
+
+    flow = Pipeline([
+        Impute("city"),
+        Transform("phone", examples=[["212-555-0199", "(212) 555 0199"]]),
+    ])
+    result = flow.run(table, client=Client.local(seed=0))
+    print(result.table.to_dicts(), result.report.dedup_factor)
+"""
+
+from .executor import FlowExecutor, FlowReport, FlowResult, StageMetrics
+from .operators import (
+    FILTER_MODES,
+    OP_TYPES,
+    Ask,
+    DetectErrors,
+    Extract,
+    Filter,
+    FlowError,
+    Impute,
+    Join,
+    Operator,
+    Partition,
+    Resolve,
+    Select,
+    Transform,
+    WorkItem,
+    operator_from_payload,
+    register_op,
+)
+from .pipeline import Pipeline
+from .planner import Planner, StagePlan, WavePlan, independent_waves, spec_key
+
+__all__ = [
+    "Ask",
+    "DetectErrors",
+    "Extract",
+    "FILTER_MODES",
+    "Filter",
+    "FlowError",
+    "FlowExecutor",
+    "FlowReport",
+    "FlowResult",
+    "Impute",
+    "Join",
+    "OP_TYPES",
+    "Operator",
+    "Partition",
+    "Pipeline",
+    "Planner",
+    "Resolve",
+    "Select",
+    "StageMetrics",
+    "StagePlan",
+    "Transform",
+    "WavePlan",
+    "WorkItem",
+    "independent_waves",
+    "operator_from_payload",
+    "register_op",
+    "spec_key",
+]

@@ -35,13 +35,15 @@ import asyncio
 import json
 import sys
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import Any, IO, Iterable
+from typing import Any, IO, Iterable, Sequence
 
 from ..api.errors import ApiError, ErrorInfo, InvalidRequestError
-from ..api.protocol import encode_error, encode_success, parse_request
+from ..api.pipeline_spec import PipelineSpec
+from ..api.protocol import ParsedRequest, encode_error, encode_success, parse_request
 from ..api.results import TaskResult
-from ..api.specs import spec_from_request
+from ..api.specs import TaskSpec, spec_from_request
 from ..core.config import UniDMConfig
 from ..core.pipeline import UniDM
 from ..core.tasks.base import Task
@@ -67,10 +69,18 @@ class InvalidRequest:
 def build_task(request: dict) -> Task:
     """Translate one flat JSON task payload into a pipeline task.
 
-    Compatibility shim over the :class:`~repro.api.specs.TaskSpec` registry
-    (the PR 1 entry point); new code should use
-    :func:`repro.api.spec_from_request` or the typed specs directly.
+    .. deprecated:: 1.2
+       Compatibility shim over the :class:`~repro.api.specs.TaskSpec`
+       registry (the PR 1 entry point).  Use
+       :func:`repro.api.spec_from_request` (``spec_from_request(request)
+       .to_task()``) or the typed specs directly.
     """
+    warnings.warn(
+        "build_task is deprecated; use repro.api.spec_from_request(request)"
+        ".to_task() or the typed TaskSpec classes instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return spec_from_request(request).to_task()
 
 
@@ -105,6 +115,8 @@ class ServingService:
         tasks: list[Task] = []
         #: (request position, request id, protocol version) per queued task.
         slots: list[tuple[int, Any, int]] = []
+        #: Pipeline (plan-level) requests, answered after the task batch.
+        plans: list[tuple[int, ParsedRequest]] = []
         responses: list[dict | None] = [None] * len(requests)
         for position, request in enumerate(requests):
             request_id = request.get("id") if isinstance(request, dict) else None
@@ -114,6 +126,9 @@ class ServingService:
                     raise InvalidRequestError(request.error, code="bad_json")
                 parsed = parse_request(request)
                 request_id, version = parsed.id, parsed.version
+                if isinstance(parsed.spec, PipelineSpec):
+                    plans.append((position, parsed))
+                    continue
                 tasks.append(parsed.spec.to_task())
                 slots.append((position, request_id, version))
             except ApiError as exc:
@@ -128,8 +143,51 @@ class ServingService:
             for (position, request_id, version), result in zip(slots, results):
                 payload = TaskResult.from_manipulation(result, request_id=request_id)
                 responses[position] = encode_success(payload, request_id, version)
+        for position, parsed in plans:
+            responses[position] = self._run_plan_locked(parsed)
         self.requests_served += len(requests)
         return [response for response in responses if response is not None]
+
+    def _run_specs_locked(self, specs: "Sequence[TaskSpec]") -> list[TaskResult]:
+        """Execute already-validated specs through the engine (lock held).
+
+        This is the plan-level submission path the flow executor uses when a
+        whole pipeline runs inside the service: spec batches skip the JSON
+        envelope and go straight to the engine.
+        """
+        results = self.pipeline.run_many(
+            [spec.to_task() for spec in specs], engine=self.engine
+        )
+        return [TaskResult.from_manipulation(result) for result in results]
+
+    def _run_plan_locked(self, parsed: ParsedRequest) -> dict:
+        """Answer one pipeline request by running the streaming flow executor."""
+        from ..flow.executor import FlowExecutor
+        from ..flow.operators import FlowError
+
+        spec = parsed.spec
+        try:
+            flow_result = FlowExecutor(self._run_specs_locked).run(
+                spec.to_pipeline(), spec.to_table()
+            )
+        except FlowError as exc:
+            error = ErrorInfo(code="pipeline_failed", message=str(exc))
+            return encode_error(error, parsed.id, parsed.version)
+        payload = TaskResult(
+            answer={
+                # Columns travel separately so an empty result still carries
+                # the pipeline's output schema.
+                "columns": flow_result.table.schema.names,
+                "rows": flow_result.table.to_dicts(),
+                "answers": flow_result.answers,
+                "report": flow_result.report.to_payload(),
+            },
+            task_type="pipeline",
+            tokens=flow_result.report.llm_tokens,
+            calls=flow_result.report.llm_calls,
+            id=parsed.id,
+        )
+        return encode_success(payload, parsed.id, parsed.version)
 
     def handle_request(self, request: dict) -> dict:
         return self.handle_batch([request])[0]

@@ -19,6 +19,7 @@ from repro.api import (
     ExtractionSpec,
     ImputationSpec,
     JoinDiscoverySpec,
+    PipelineSpec,
     SPEC_TYPES,
     TableQASpec,
     TransformationSpec,
@@ -128,6 +129,24 @@ def join_discovery_specs(draw):
     )
 
 
+@st.composite
+def pipeline_specs(draw):
+    cols, rows = draw(tables())
+    column = draw(st.sampled_from(cols))
+    stages = [{"op": "impute", "column": column}]
+    if draw(st.booleans()):
+        stages.append({"op": "detect_errors", "column": column})
+    if draw(st.booleans()):
+        stages.append({"op": "select", "columns": list(cols)})
+    return PipelineSpec(
+        rows=rows,
+        stages=stages,
+        table_name=draw(names),
+        primary_key=draw(st.none() | st.sampled_from(cols)),
+        partition_size=draw(st.none() | st.integers(1, 4)),
+    )
+
+
 ALL_SPEC_STRATEGIES = [
     imputation_specs(),
     transformation_specs(),
@@ -136,6 +155,7 @@ ALL_SPEC_STRATEGIES = [
     entity_resolution_specs(),
     error_detection_specs(),
     join_discovery_specs(),
+    pipeline_specs(),
 ]
 
 
@@ -144,6 +164,10 @@ def _assert_round_trip(spec):
     payload = json.loads(json.dumps(spec.to_request()))
     rebuilt = spec_from_request(payload)
     assert rebuilt == spec
+    if isinstance(spec, PipelineSpec):
+        # A pipeline materialises a flow plan rather than a single task.
+        assert rebuilt.to_pipeline().to_payload() == spec.to_pipeline().to_payload()
+        return
     # The rebuilt spec materialises an equivalent pipeline task.
     original_task, rebuilt_task = spec.to_task(), rebuilt.to_task()
     assert type(rebuilt_task) is type(original_task)

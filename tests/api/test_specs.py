@@ -35,7 +35,7 @@ ROWS = [
 
 
 # ---------------------------------------------------------------------- registry
-def test_registry_covers_all_seven_task_types():
+def test_registry_covers_all_seven_task_types_plus_pipeline():
     assert set(task_types()) == {
         "imputation",
         "transformation",
@@ -44,6 +44,8 @@ def test_registry_covers_all_seven_task_types():
         "entity_resolution",
         "error_detection",
         "join_discovery",
+        # The plan-level request type of repro.flow rides the same registry.
+        "pipeline",
     }
     for spec_cls in SPEC_TYPES.values():
         assert issubclass(spec_cls, TaskSpec)

@@ -123,3 +123,40 @@ def test_table_append_coerces_foreign_record(city_table, city_schema):
 def test_table_requires_name(city_schema):
     with pytest.raises(ValueError):
         Table("", city_schema)
+
+
+# -- partitioning and derived columns (the flow substrate) -----------------------
+def test_partitions_chunk_rows_and_keep_record_ids(city_table):
+    parts = list(city_table.partitions(4))
+    assert [len(p) for p in parts] == [4, 2]
+    assert [r.record_id for p in parts for r in p] == list(range(6))
+    # Partition rows are copies: mutating one leaves the source intact.
+    parts[0][0]["city"] = "CHANGED"
+    assert city_table[0]["city"] != "CHANGED"
+    with pytest.raises(ValueError):
+        list(city_table.partitions(0))
+
+
+def test_concat_restitches_partitions(city_table):
+    parts = list(city_table.partitions(4))
+    merged = Table.concat(parts)
+    assert merged.to_dicts() == city_table.to_dicts()
+    assert merged.name == city_table.name
+    with pytest.raises(ValueError):
+        Table.concat([])
+    with pytest.raises(ValueError):
+        Table.concat([city_table, city_table.project(["city"])])
+
+
+def test_with_column_adds_replaces_and_validates(city_table):
+    flagged = city_table.with_column("dirty", default=False)
+    assert flagged.schema.names == city_table.schema.names + ["dirty"]
+    assert flagged.column("dirty") == [False] * len(city_table)
+    assert [r.record_id for r in flagged] == [r.record_id for r in city_table]
+
+    replaced = flagged.with_column("dirty", values=[True] + [False] * 5)
+    assert replaced.schema.names == flagged.schema.names  # replaced, not added
+    assert replaced.column("dirty")[0] is True
+
+    with pytest.raises(ValueError):
+        city_table.with_column("dirty", values=[True])  # misaligned values

@@ -1,0 +1,251 @@
+"""Unit tests for the flow operators: validation, compile/apply, wire form."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    EntityResolutionSpec,
+    ErrorDetectionSpec,
+    ExtractionSpec,
+    ImputationSpec,
+    JoinDiscoverySpec,
+    TableQASpec,
+    TransformationSpec,
+)
+from repro.datalake import Table
+from repro.flow import (
+    OP_TYPES,
+    Ask,
+    DetectErrors,
+    Extract,
+    Filter,
+    FlowError,
+    Impute,
+    Join,
+    Partition,
+    Resolve,
+    Select,
+    Transform,
+    operator_from_payload,
+)
+
+
+@pytest.fixture
+def table():
+    return Table.from_dicts(
+        "shops",
+        [
+            {"name": "ada", "city": "rome", "phone": "06-1"},
+            {"name": "bob", "city": None, "phone": "06-2"},
+            {"name": "cyd", "city": "pisa", "phone": None},
+        ],
+    )
+
+
+# ---------------------------------------------------------------- compilation
+def test_impute_compiles_one_spec_per_missing_cell(table):
+    items = Impute("city").compile(table)
+    assert len(items) == 1
+    assert isinstance(items[0].spec, ImputationSpec)
+    assert items[0].row == 1
+    assert items[0].spec.attribute == "city"
+    assert items[0].spec.rows == table.to_dicts()
+
+
+def test_impute_apply_writes_answers_back(table):
+    operator = Impute("city")
+    items = operator.compile(table)
+    out = operator.apply(table, [(items[0], "siena")], {})
+    assert out.column("city") == ["rome", "siena", "pisa"]
+    assert table.column("city") == ["rome", None, "pisa"]  # input untouched
+
+
+def test_detect_errors_skips_missing_cells_and_adds_flag_column(table):
+    operator = DetectErrors("city")
+    items = operator.compile(table)
+    assert [item.row for item in items] == [0, 2]
+    assert all(isinstance(item.spec, ErrorDetectionSpec) for item in items)
+    out = operator.apply(table, [(items[0], True), (items[1], False)], {})
+    assert out.column("city_error") == [True, None, False]
+
+
+def test_transform_in_place_and_to_new_column(table):
+    in_place = Transform("phone", examples=[["06-1", "+39 06 1"]])
+    items = in_place.compile(table)
+    assert [item.row for item in items] == [0, 1]
+    assert isinstance(items[0].spec, TransformationSpec)
+    out = in_place.apply(table, [(items[0], "+39 06 1"), (items[1], "+39 06 2")], {})
+    assert out.column("phone") == ["+39 06 1", "+39 06 2", None]
+
+    renamed = Transform("phone", examples=[["06-1", "+39 06 1"]], output_column="intl")
+    out = renamed.apply(table, [(item, "x") for item in renamed.compile(table)], {})
+    assert out.column("intl") == ["x", "x", None]
+    assert out.column("phone") == table.column("phone")
+
+
+def test_extract_targets_the_attribute_column():
+    docs = Table.from_dicts(
+        "pages", [{"player": "ada", "page": "<b>ada</b> plays for rome."}]
+    )
+    operator = Extract("page", "team")
+    items = operator.compile(docs)
+    assert isinstance(items[0].spec, ExtractionSpec)
+    out = operator.apply(docs, [(items[0], "rome")], {})
+    assert out.column("team") == ["rome"]
+
+
+def test_resolve_first_matching_candidate_wins(table):
+    catalog = [
+        {"id": "r1", "name": "ada", "city": "rome"},
+        {"id": "r2", "name": "cyd", "city": "pisa"},
+    ]
+    operator = Resolve(catalog, key="id", attributes=["name"])
+    items = operator.compile(table)
+    # 3 rows x 2 candidates.
+    assert len(items) == 6
+    assert all(isinstance(item.spec, EntityResolutionSpec) for item in items)
+    # Row 0 matches both candidates: the earlier candidate must win.
+    results = [(item, item.row == 0) for item in items]
+    out = operator.apply(table, results, {})
+    assert out.column("match") == ["r1", None, None]
+
+
+def test_join_merges_columns_when_joinable(table):
+    regions = [
+        {"town": "rome", "region": "lazio"},
+        {"town": "pisa", "region": "tuscany"},
+    ]
+    operator = Join(regions, on="city", other_on="town", other_name="regions")
+    items = operator.compile(table)
+    assert len(items) == 1 and isinstance(items[0].spec, JoinDiscoverySpec)
+    answers = {}
+    out = operator.apply(table, [(items[0], True)], answers)
+    assert out.column("region") == ["lazio", None, "tuscany"]
+    assert answers == {"join:city~regions.town": True}
+
+
+def test_join_never_matches_missing_keys(table):
+    # SQL NULL semantics: None on either side must not join (str(None) used
+    # to collide with a literal 'None' key and pick up spurious columns).
+    regions = [
+        {"town": None, "region": "nowhere"},
+        {"town": "pisa", "region": "tuscany"},
+    ]
+    operator = Join(regions, on="city", other_on="town", other_name="regions")
+    out = operator.apply(table, [(operator.compile(table)[0], True)], {})
+    # Row 1 has city=None: it must stay unmatched, not join the None row.
+    assert out.column("region") == [None, None, "tuscany"]
+
+
+def test_join_not_joinable_still_adds_stable_columns(table):
+    regions = [{"town": "rome", "region": "lazio"}]
+    operator = Join(regions, on="city", other_on="town", other_name="regions")
+    answers = {}
+    out = operator.apply(table, [(operator.compile(table)[0], False)], answers)
+    assert out.column("region") == [None, None, None]
+    assert answers["join:city~regions.town"] is False
+
+
+def test_ask_routes_answer_to_the_answers_channel(table):
+    operator = Ask("how many shops?", name="n_shops")
+    items = operator.compile(table)
+    assert isinstance(items[0].spec, TableQASpec)
+    answers = {}
+    out = operator.apply(table, [(items[0], "3")], answers)
+    assert answers == {"n_shops": "3"}
+    assert out.to_dicts() == table.to_dicts()
+
+
+# ----------------------------------------------------------------- relational
+def test_filter_modes(table):
+    assert len(Filter("city", "not_missing").transform(table)) == 2
+    assert len(Filter("city", "missing").transform(table)) == 1
+    assert len(Filter("name", "equals", value="ada").transform(table)) == 1
+    assert len(Filter("name", "not_equals", value="ada").transform(table)) == 2
+    with pytest.raises(FlowError):
+        Filter("city", "no_such_mode")
+
+
+def test_select_projects_columns(table):
+    out = Select(["city", "name"]).transform(table)
+    assert out.schema.names == ["city", "name"]
+
+
+def test_partition_is_a_pure_marker(table):
+    operator = Partition(2)
+    assert operator.transform(table) is table
+    with pytest.raises(FlowError):
+        Partition(0)
+
+
+# ------------------------------------------------------------------ wire form
+ALL_OPERATORS = [
+    Impute("city"),
+    DetectErrors("city", flag_column="dirty"),
+    Transform("phone", examples=[["a", "b"], ["c", "d"]], output_column="intl"),
+    Extract("page", "team", max_chunk_chars=500),
+    Resolve([{"id": 1, "name": "ada"}], key="id", attributes=["name"], max_candidates=3),
+    Join([{"town": "rome", "region": "lazio"}], on="city", other_on="town",
+         other_name="regions", prefix="geo_", seed=3),
+    Ask("how many?", name="n", max_rows=10),
+    Filter("city", "equals", value="rome"),
+    Select(["city"]),
+    Partition(16),
+]
+
+
+@pytest.mark.parametrize("operator", ALL_OPERATORS, ids=lambda o: o.op)
+def test_payload_round_trip(operator):
+    payload = json.loads(json.dumps(operator.to_payload()))
+    rebuilt = operator_from_payload(payload)
+    assert rebuilt == operator
+    assert rebuilt.to_payload() == operator.to_payload()
+
+
+def test_registry_covers_every_operator():
+    assert set(OP_TYPES) == {
+        "impute",
+        "detect_errors",
+        "transform",
+        "resolve",
+        "extract",
+        "join",
+        "ask",
+        "filter",
+        "select",
+        "partition",
+    }
+
+
+def test_unknown_and_malformed_payloads_are_rejected():
+    with pytest.raises(FlowError):
+        operator_from_payload({"op": "no_such_op"})
+    with pytest.raises(FlowError):
+        operator_from_payload({"op": "impute"})  # missing required column
+    with pytest.raises(FlowError):
+        operator_from_payload("not an object")
+
+
+def test_operator_validation_errors():
+    with pytest.raises(FlowError):
+        Transform("phone", examples=[])
+    with pytest.raises(FlowError):
+        Transform("phone", examples=[["only-one"]])
+    with pytest.raises(FlowError):
+        Resolve([], key="id")
+    with pytest.raises(FlowError):
+        Resolve([{"name": "x"}], key="id")  # key column absent
+    with pytest.raises(FlowError):
+        Join([{"town": "x"}], on="city", other_on="missing")
+    with pytest.raises(FlowError):
+        Ask("   ")
+    with pytest.raises(FlowError):
+        Select([])
+
+
+def test_join_accepts_a_table_and_takes_its_name(table):
+    regions = Table.from_dicts("regions", [{"town": "rome", "region": "lazio"}])
+    operator = Join(regions, on="city", other_on="town")
+    assert operator.other_name == "regions"
+    assert operator.brought_columns == ["region"]

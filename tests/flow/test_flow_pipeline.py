@@ -1,0 +1,208 @@
+"""Pipeline assembly: validation, lineage, wave scheduling, wire form."""
+
+import json
+
+import pytest
+
+from repro.datalake import Table
+from repro.flow import (
+    Ask,
+    DetectErrors,
+    Extract,
+    Filter,
+    FlowError,
+    Impute,
+    Partition,
+    Pipeline,
+    Planner,
+    Select,
+    Transform,
+    independent_waves,
+    spec_key,
+)
+
+COLUMNS = ["name", "city", "phone"]
+
+
+def test_pipeline_needs_stages():
+    with pytest.raises(FlowError):
+        Pipeline([])
+    with pytest.raises(FlowError):
+        Pipeline(["not an operator"])
+    with pytest.raises(FlowError):
+        Pipeline([Impute("city")], partition_size=0)
+
+
+def test_validate_tracks_columns_across_stages():
+    flow = Pipeline(
+        [
+            DetectErrors("city"),
+            Filter("city_error", "falsy"),
+            Impute("city"),
+            Transform("phone", examples=[["a", "b"]], output_column="intl"),
+            Select(["name", "city", "intl"]),
+        ]
+    )
+    assert flow.validate(COLUMNS) == ["name", "city", "intl"]
+
+
+def test_validate_names_the_failing_stage():
+    flow = Pipeline([Impute("city"), Transform("zipcode", examples=[["a", "b"]])])
+    with pytest.raises(FlowError, match=r"stage 1 \(transform\)"):
+        flow.validate(COLUMNS)
+
+
+def test_validate_accepts_columns_written_by_earlier_stages():
+    flow = Pipeline(
+        [
+            Extract("page", "team"),
+            Filter("team", "not_missing"),
+            Transform("team", examples=[["a", "A"]]),
+        ]
+    )
+    assert flow.validate(["page"]) == ["page", "team"]
+
+
+def test_lineage_reports_provenance_per_output_column():
+    flow = Pipeline(
+        [
+            DetectErrors("city"),
+            Impute("city"),
+            Select(["city", "city_error"]),
+        ]
+    )
+    lineage = flow.lineage(COLUMNS)
+    assert lineage == {
+        "city": ["source", "1:impute"],
+        "city_error": ["0:detect_errors"],
+    }
+
+
+# ------------------------------------------------------------ wave scheduling
+def _indexed(*operators):
+    return list(enumerate(operators))
+
+
+def test_independent_stages_fuse_into_one_wave():
+    # Two scoped writers on disjoint columns: one submission round.
+    waves = independent_waves(
+        _indexed(
+            Transform("phone", examples=[["a", "b"]], output_column="intl"),
+            Extract("page", "team"),
+        )
+    )
+    assert [len(w) for w in waves] == [2]
+
+
+def test_read_after_write_hazard_splits_waves():
+    # The second transform reads what the first one writes.
+    waves = independent_waves(
+        _indexed(
+            Transform("phone", examples=[["a", "b"]], output_column="intl"),
+            Transform("intl", examples=[["a", "b"]], output_column="pretty"),
+        )
+    )
+    assert [len(w) for w in waves] == [1, 1]
+
+
+def test_evidence_scanning_operators_never_follow_a_writer():
+    # Impute ships whole rows as evidence, so it must see the detector's
+    # flag column exactly as a sequential execution would.
+    waves = independent_waves(_indexed(DetectErrors("city"), Impute("city")))
+    assert [len(w) for w in waves] == [1, 1]
+    # In front of the writers it can lead a wave: the scoped transform that
+    # follows reads nothing the impute stage writes, so the two fuse.
+    waves = independent_waves(
+        _indexed(Impute("city"), Transform("phone", examples=[["a", "b"]], output_column="intl"))
+    )
+    assert [len(w) for w in waves] == [2]
+
+
+def test_relational_stages_are_their_own_wave():
+    waves = independent_waves(
+        _indexed(
+            Transform("phone", examples=[["a", "b"]], output_column="intl"),
+            Filter("city", "not_missing"),
+            Extract("page", "team"),
+        )
+    )
+    assert [len(w) for w in waves] == [1, 1, 1]
+
+
+# ------------------------------------------------------------------- planning
+def test_planner_dedups_across_stages_and_partitions():
+    table = Table.from_dicts(
+        "t",
+        [
+            {"v": "x", "w": "x"},
+            {"v": "x", "w": "y"},
+        ],
+    )
+    planner = Planner()
+    examples = [["a", "A"]]
+    wave = planner.plan_wave(
+        _indexed(
+            Transform("v", examples=examples, output_column="v2"),
+            Transform("w", examples=examples, output_column="w2"),
+        ),
+        table,
+    )
+    # Four items, but the value "x" appears three times -> two unique specs.
+    assert sum(len(p.items) for p in wave.plans) == 4
+    assert len(wave.new) == 2
+    assert wave.plans[0].fresh == 1  # "x" claimed once by the first stage
+    assert wave.plans[1].fresh == 1  # "y" is the only new value in stage 2
+
+    class _Result:
+        def __init__(self, answer):
+            self.answer = answer
+
+    for key, _ in wave.new:
+        planner.record(key, _Result("!"))
+    # A later partition with already-seen values compiles to zero new specs.
+    wave2 = planner.plan_wave(
+        _indexed(Transform("v", examples=examples, output_column="v2")), table
+    )
+    assert len(wave2.new) == 0
+    assert wave2.plans[0].fresh == 0
+
+
+def test_spec_key_is_canonical_and_compact():
+    from repro.api import TransformationSpec
+
+    a = TransformationSpec(value="x", examples=[["a", "b"]])
+    b = TransformationSpec(value="x", examples=(("a", "b"),))
+    c = TransformationSpec(value="y", examples=[["a", "b"]])
+    assert spec_key(a) == spec_key(b)  # representation-insensitive
+    assert spec_key(a) != spec_key(c)  # content-sensitive
+    # Evidence-carrying specs can be kilobytes; the key is a fixed-size digest.
+    assert len(spec_key(a)) == 64
+
+
+# ------------------------------------------------------------------ wire form
+def test_pipeline_payload_round_trip():
+    flow = Pipeline(
+        [
+            DetectErrors("city"),
+            Partition(8),
+            Impute("city"),
+            Ask("how many?", name="n"),
+        ],
+        name="clean",
+        partition_size=32,
+    )
+    payload = json.loads(json.dumps(flow.to_payload()))
+    rebuilt = Pipeline.from_payload(payload)
+    assert rebuilt.name == "clean"
+    assert rebuilt.partition_size == 32
+    assert [s.op for s in rebuilt.stages] == ["detect_errors", "partition", "impute", "ask"]
+    assert rebuilt.to_payload() == flow.to_payload()
+
+
+def test_pipeline_from_payload_rejects_garbage():
+    with pytest.raises(FlowError):
+        Pipeline.from_payload({"stages": []})
+    with pytest.raises(FlowError):
+        Pipeline.from_payload({"stages": [{"op": "nope"}]})
+    with pytest.raises(FlowError):
+        Pipeline.from_payload({"stages": [{"op": "impute", "column": "c"}], "partition_size": -1})

@@ -15,13 +15,28 @@ from repro.core import (
     TableQATask,
     TransformationTask,
 )
+from repro.api import spec_from_request
 from repro.serving import build_service
-from repro.serving.service import build_task
+
+
+def from_request(request):
+    """The registry path that replaced the deprecated ``build_task`` shim."""
+    return spec_from_request(request).to_task()
 
 
 # ------------------------------------------------------------- request parsing
+def test_build_task_shim_still_works_but_warns():
+    from repro.serving.service import build_task
+
+    with pytest.deprecated_call():
+        task = build_task(
+            {"type": "transformation", "value": "a", "examples": [["x", "y"]]}
+        )
+    assert isinstance(task, TransformationTask)
+
+
 def test_build_imputation_task():
-    task = build_task(
+    task = from_request(
         {
             "type": "imputation",
             "rows": [
@@ -37,7 +52,7 @@ def test_build_imputation_task():
 
 
 def test_build_transformation_task():
-    task = build_task(
+    task = from_request(
         {"type": "transformation", "value": "a", "examples": [["x", "y"]]}
     )
     assert isinstance(task, TransformationTask)
@@ -45,11 +60,11 @@ def test_build_transformation_task():
 
 def test_build_extraction_and_table_qa_tasks():
     assert isinstance(
-        build_task({"type": "extraction", "document": "doc", "attribute": "name"}),
+        from_request({"type": "extraction", "document": "doc", "attribute": "name"}),
         InformationExtractionTask,
     )
     assert isinstance(
-        build_task(
+        from_request(
             {
                 "type": "table_qa",
                 "rows": [{"player": "Jordan", "team": "Bulls"}],
@@ -63,13 +78,13 @@ def test_build_extraction_and_table_qa_tasks():
 def test_build_entity_resolution_error_detection_and_join_tasks():
     # The three task types the PR 1 service rejected as "unknown".
     assert isinstance(
-        build_task(
+        from_request(
             {"type": "entity_resolution", "record_a": {"name": "a"}, "record_b": {"name": "b"}}
         ),
         EntityResolutionTask,
     )
     assert isinstance(
-        build_task(
+        from_request(
             {
                 "type": "error_detection",
                 "rows": [{"city": "Rome", "zip": "00100"}],
@@ -80,7 +95,7 @@ def test_build_entity_resolution_error_detection_and_join_tasks():
         ErrorDetectionTask,
     )
     assert isinstance(
-        build_task(
+        from_request(
             {
                 "type": "join_discovery",
                 "table_a": {"name": "rank", "rows": [{"abrv": "GER"}]},
@@ -112,7 +127,20 @@ def test_build_entity_resolution_error_detection_and_join_tasks():
 )
 def test_build_task_rejects_malformed_requests(request_obj):
     with pytest.raises((ValueError, KeyError)):
-        build_task(request_obj)
+        from_request(request_obj)
+
+
+def test_pipeline_spec_refuses_to_build_a_single_task():
+    # A pipeline is a plan of tasks; the service routes it to the flow
+    # executor instead of the per-task path.
+    with pytest.raises(ValueError):
+        from_request(
+            {
+                "type": "pipeline",
+                "rows": [{"city": "Rome", "country": None}],
+                "stages": [{"op": "impute", "column": "country"}],
+            }
+        )
 
 
 # ------------------------------------------------------------------- batches
