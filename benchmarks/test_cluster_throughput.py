@@ -1,0 +1,172 @@
+"""Benchmark: sharded cluster throughput vs a single worker.
+
+The cluster acceptance claim: on a mixed-spec workload against a
+latency-bearing backend (one round-trip per ``complete_batch`` call, as for
+a remote completion API), routing across 4 workers — each with its own
+engine, micro-batcher and cache shard — must deliver at least 2x the
+throughput of the same stack with 1 worker.  Each worker batches its own
+shard's prompts and its round-trips overlap with every other worker's,
+which is exactly the parallelism a single engine (one batcher, one backend
+connection) cannot express.
+
+Bit-parity across worker counts is enforced separately under the
+deterministic regime in ``tests/cluster/test_parity.py``; this benchmark
+measures wall-clock only.  Results land in ``BENCH_cluster.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.api import (
+    Client,
+    EntityResolutionSpec,
+    ErrorDetectionSpec,
+    ImputationSpec,
+    TransformationSpec,
+)
+from repro.datasets import load_dataset
+from repro.llm import LanguageModel, SimulatedLLM
+
+#: Simulated network round-trip cost of one batched LLM call.
+LATENCY = 0.020
+N_WORKERS = 4
+
+
+class LatencyLLM(LanguageModel):
+    """A fixed per-round-trip latency in front of a simulated backend."""
+
+    def __init__(self, inner: SimulatedLLM, latency: float):
+        super().__init__(tokenizer=inner.tokenizer)
+        self.inner = inner
+        self.latency = latency
+        self.name = f"latency({inner.name})"
+        self.round_trips = 0
+
+    def _complete_text(self, prompt: str) -> str:
+        self.round_trips += 1
+        time.sleep(self.latency)
+        return self.inner._complete_text(prompt)
+
+    def complete_batch(self, prompts, kind="other"):
+        self.round_trips += 1
+        time.sleep(self.latency)
+        return [
+            self._record(prompt, self.inner._complete_text(prompt), kind)
+            for prompt in prompts
+        ]
+
+
+def _mixed_workload():
+    """Mixed specs over the Restaurant benchmark: all shards get real work."""
+    dataset = load_dataset("restaurant", seed=0, n_records=32, n_tasks=16)
+    rows = dataset.table.to_dicts()
+    specs = []
+    for task in dataset.tasks:  # 16 imputation specs (masked city)
+        specs.append(
+            ImputationSpec(
+                rows=rows, target=task.record.to_dict(), attribute=task.attribute
+            )
+        )
+    for index, row in enumerate(rows[:16]):  # 16 phone-format transformations
+        specs.append(
+            TransformationSpec(
+                value=str(row["phone"]),
+                examples=[["212-555-0199", "(212) 555 0199"]],
+                name=f"phone-{index}",
+            )
+        )
+    for row in rows[:8]:  # 8 self-pair resolutions
+        variant = dict(row)
+        variant["name"] = str(row["name"]).upper()
+        specs.append(EntityResolutionSpec(record_a=row, record_b=variant))
+    for row in rows[8:16]:  # 8 error-detection probes
+        specs.append(
+            ErrorDetectionSpec(rows=rows, target=row, attribute="phone")
+        )
+    return dataset, specs
+
+
+def _run_cluster(n_workers: int, dataset, specs):
+    """One cold cluster run; returns (elapsed, results, stats, round_trips)."""
+    backends = []
+
+    def llm_factory(index: int) -> LatencyLLM:
+        backend = LatencyLLM(
+            SimulatedLLM(knowledge=dataset.knowledge, seed=0), LATENCY
+        )
+        backends.append(backend)
+        return backend
+
+    with Client.cluster(
+        workers=n_workers, llm_factory=llm_factory, batch_size=8
+    ) as client:
+        started = time.perf_counter()
+        results = client.submit_many(specs)
+        elapsed = time.perf_counter() - started
+        stats = client.router.stats()
+    return elapsed, results, stats, sum(b.round_trips for b in backends)
+
+
+def test_four_workers_double_throughput_over_one(benchmark):
+    dataset, specs = _mixed_workload()
+
+    t_single, single_results, _, single_trips = _run_cluster(1, dataset, specs)
+    assert all(result.error is None for result in single_results)
+
+    t_cluster = None
+
+    def sharded():
+        nonlocal t_cluster
+        elapsed, results, stats, trips = _run_cluster(N_WORKERS, dataset, specs)
+        t_cluster = (elapsed, results, stats, trips)
+        return results
+
+    run_once(benchmark, sharded)
+    elapsed, cluster_results, stats, cluster_trips = t_cluster
+
+    assert all(result.error is None for result in cluster_results)
+    assert len(cluster_results) == len(single_results) == len(specs)
+    busy_workers = [row for row in stats.workers if row.routed]
+    assert len(busy_workers) >= 3, "workload failed to spread over the shards"
+
+    throughput_single = len(specs) / t_single
+    throughput_cluster = len(specs) / elapsed
+    speedup = throughput_cluster / throughput_single
+    # The acceptance claim: >= 2x throughput with 4 workers vs 1.
+    assert speedup >= 2.0, (
+        f"{N_WORKERS} workers: {throughput_cluster:.1f} specs/s vs "
+        f"1 worker: {throughput_single:.1f} specs/s (speedup {speedup:.2f}x)"
+    )
+
+    payload = {
+        "workload": {
+            "specs": len(specs),
+            "mix": {
+                "imputation": 16,
+                "transformation": 16,
+                "entity_resolution": 8,
+                "error_detection": 8,
+            },
+            "backend_latency_s": LATENCY,
+        },
+        "single_worker": {
+            "elapsed_s": round(t_single, 4),
+            "specs_per_s": round(throughput_single, 2),
+            "llm_round_trips": single_trips,
+        },
+        "cluster": {
+            "workers": N_WORKERS,
+            "elapsed_s": round(elapsed, 4),
+            "specs_per_s": round(throughput_cluster, 2),
+            "llm_round_trips": cluster_trips,
+            "routed_per_worker": {
+                row.worker_id: row.routed for row in stats.workers
+            },
+        },
+        "speedup": round(speedup, 3),
+    }
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Offline markdown link checker for the README and the docs tree.
+
+Walks the given markdown files (and directories of them), extracts
+``[text](target)`` links outside fenced code blocks, and verifies that
+
+* relative file targets exist on disk (anchored at the linking file), and
+* ``#anchor`` fragments — same-file or cross-file — match a heading in the
+  target document (GitHub-style slugs).
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped: CI has
+no network and this reproduction links nowhere that needs one.
+
+Usage::
+
+    python scripts/check_links.py README.md docs
+
+Exit status is non-zero when any link is broken, printing one line per
+offence.  CI runs this next to ``gen_protocol_docs.py --check``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_PATTERN = re.compile(r"^\s*(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_PATTERN.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_PATTERN.match(line)
+        if match:
+            slugs.add(slugify(match.group(1)))
+    return slugs
+
+
+def links_in(path: Path) -> list[str]:
+    links: list[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_PATTERN.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Strip inline code spans so `[a](b)` examples are not treated as links.
+        line = re.sub(r"`[^`]*`", "", line)
+        links.extend(match.group(1) for match in LINK_PATTERN.finditer(line))
+    return links
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    for target in links_in(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor:
+            if resolved.suffix.lower() not in {".md", ".markdown"}:
+                continue  # anchors into non-markdown files are not checked
+            if slugify(anchor) not in heading_slugs(resolved):
+                problems.append(f"{path}: missing anchor -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = argv if argv is not None else sys.argv[1:]
+    if not arguments:
+        arguments = ["README.md", "docs"]
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"no such file or directory: {argument}", file=sys.stderr)
+            return 2
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(files)
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s).", file=sys.stderr)
+        return 1
+    print(f"all links ok across {checked} markdown file(s).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

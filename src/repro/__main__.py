@@ -14,12 +14,17 @@ Commands
     Run the Figure-2 style quickstart on a freshly generated Restaurant task,
     driven through the :class:`repro.api.Client` facade.  With ``--engine``
     all of the dataset's tasks are executed through the serving engine and a
-    throughput summary is printed.
+    throughput summary is printed.  With ``--cluster --workers N`` the
+    dataset's tasks fan out as typed specs across a sharded cluster and the
+    aggregated :class:`~repro.cluster.ClusterStats` are printed.
 ``serve``
     Answer JSON task requests (newline-delimited; blank line flushes a batch)
     on stdin/stdout, or on a TCP socket with ``--port``.  Speaks the
     versioned protocol of :mod:`repro.api.protocol` (v2 envelopes natively,
-    flat v1 requests still accepted) and covers all seven task types.
+    flat v1 requests still accepted) and covers all seven task types.  With
+    ``--cluster``, ``--workers N`` serving stacks shard the work by
+    consistent hash with disjoint persistent-cache shards
+    (``--cluster-mode process`` spawns them as subprocesses).
 """
 
 from __future__ import annotations
@@ -56,11 +61,32 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="execute through the batched serving engine",
     )
     parser.add_argument("--batch-size", type=_positive_int, default=8, help="micro-batch size")
-    parser.add_argument("--workers", type=_positive_int, default=8, help="concurrent tasks in flight")
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=8,
+        help="concurrent tasks in flight (with --cluster: number of shard workers)",
+    )
     parser.add_argument(
         "--cache-dir",
         default=None,
         help="directory of a persistent completion cache (created if missing)",
+    )
+
+
+def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="shard across --workers serving stacks (consistent-hash routing, "
+        "disjoint cache shards; see repro.cluster)",
+    )
+    parser.add_argument(
+        "--cluster-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="cluster worker kind: in-process threads or spawned "
+        "`repro serve` subprocesses (default: thread)",
     )
 
 
@@ -116,6 +142,8 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .api import Client
 
+    if args.cluster:
+        return _demo_cluster(args)
     dataset = load_dataset("restaurant", seed=args.seed, n_records=80, n_tasks=5)
     llm = _maybe_cached(
         SimulatedLLM(knowledge=dataset.knowledge, seed=args.seed), args.cache_dir
@@ -153,7 +181,106 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_cluster(args: argparse.Namespace) -> int:
+    """Sharded demo: the dataset's imputation tasks fan out as typed specs."""
+    from .api import Client, ImputationSpec
+
+    dataset = load_dataset("restaurant", seed=args.seed, n_records=80, n_tasks=16)
+    rows = dataset.table.to_dicts()
+    specs = [
+        ImputationSpec(
+            rows=rows,
+            target=task.record.to_dict(),
+            attribute=task.attribute,
+            table_name=dataset.table.name,
+        )
+        for task in dataset.tasks
+    ]
+    if args.cluster_mode == "process":
+        # Subprocess workers build their own stacks; the dataset's knowledge
+        # store cannot ship across the process boundary, so answers come
+        # from the bare simulated model.
+        print(
+            "note: process workers run without the demo's knowledge store; "
+            "expect 'unknown' answers (use thread mode for the accuracy demo)",
+            file=sys.stderr,
+        )
+    with Client.cluster(
+        workers=args.workers,
+        mode=args.cluster_mode,
+        seed=args.seed,
+        knowledge=dataset.knowledge,
+        cache_dir=args.cache_dir,
+        batch_size=args.batch_size,
+    ) as client:
+        started = time.perf_counter()
+        results = client.submit_many(specs)
+        elapsed = time.perf_counter() - started
+        correct = sum(
+            1 for r, truth in zip(results, dataset.ground_truth) if r.answer == truth
+        )
+        print(
+            f"cluster      : {len(results)} specs in {elapsed:.3f}s "
+            f"({len(results) / elapsed:.1f} specs/s), "
+            f"{correct}/{len(results)} correct"
+        )
+        print(client.router.stats().describe())
+    return 0
+
+
+def _serve_frontend(handle_batch, served_count, args: argparse.Namespace) -> int:
+    """Run either front-end (TCP or stdin/stdout) over a batch handler."""
+    from .serving import serve_lines, start_line_server
+
+    if args.port is not None:
+        import asyncio
+
+        async def _run() -> None:
+            server = await start_line_server(handle_batch, args.host, args.port)
+            async with server:
+                await server.serve_forever()
+
+        print(f"serving on {args.host}:{args.port}", file=sys.stderr)
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        return 0
+    served = serve_lines(handle_batch, sys.stdin, sys.stdout)
+    print(f"served {served_count() if served_count else served} requests", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.cluster:
+        from .cluster import Router
+
+        if args.cluster_mode == "process":
+            router = Router.spawn(
+                args.workers,
+                seed=args.seed,
+                model=args.model,
+                cache_dir=args.cache_dir,
+                batch_size=args.batch_size,
+            )
+        else:
+            router = Router.local(
+                args.workers,
+                seed=args.seed,
+                model=args.model,
+                cache_dir=args.cache_dir,
+                batch_size=args.batch_size,
+            )
+        print(
+            f"cluster: {args.workers} {args.cluster_mode} workers", file=sys.stderr
+        )
+        try:
+            return _serve_frontend(
+                router.handle_batch, lambda: router.requests_served, args
+            )
+        finally:
+            router.close()
+
     from .serving import build_service
 
     service = build_service(
@@ -163,18 +290,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         workers=args.workers,
     )
-    if args.port is not None:
-        import asyncio
-
-        print(f"serving on {args.host}:{args.port}", file=sys.stderr)
-        try:
-            asyncio.run(service.serve_tcp(args.host, args.port))
-        except KeyboardInterrupt:  # pragma: no cover - interactive
-            pass
-        return 0
-    served = service.serve_stream(sys.stdin, sys.stdout)
-    print(f"served {served} requests", file=sys.stderr)
-    return 0
+    return _serve_frontend(
+        service.handle_batch, lambda: service.requests_served, args
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -193,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
 
     demo_parser = subparsers.add_parser("demo")
     _add_engine_flags(demo_parser)
+    _add_cluster_flags(demo_parser)
     demo_parser.set_defaults(fn=_cmd_demo)
 
     serve_parser = subparsers.add_parser("serve")
@@ -202,6 +321,7 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument("--batch-size", type=_positive_int, default=8)
     serve_parser.add_argument("--workers", type=_positive_int, default=8)
     serve_parser.add_argument("--cache-dir", default=None)
+    _add_cluster_flags(serve_parser)
     serve_parser.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)

@@ -26,6 +26,7 @@ Quickstart::
 
 from .client import Client
 from .errors import (
+    ERROR_CODES,
     ApiError,
     ErrorInfo,
     InvalidRequestError,
@@ -65,6 +66,7 @@ from .specs import (
 __all__ = [
     "ApiError",
     "Client",
+    "ERROR_CODES",
     "EntityResolutionSpec",
     "ErrorDetectionSpec",
     "ErrorInfo",

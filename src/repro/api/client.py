@@ -36,6 +36,7 @@ from .results import TaskResult
 from .specs import TaskSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.router import Router
     from ..core.config import UniDMConfig
     from ..core.pipeline import UniDM
     from ..core.tasks.base import Task
@@ -73,6 +74,33 @@ class Client:
         With no arguments this assembles the default serving stack (simulated
         LLM → cache → engine); pass ``llm``/``config`` to customise it or
         ``pipeline`` to wrap an existing :class:`~repro.core.pipeline.UniDM`.
+
+        Args:
+            llm: Language model to build a pipeline around (mutually
+                exclusive with ``pipeline``).
+            config: Pipeline configuration (default ``UniDMConfig.full``).
+            engine: Execution engine to use instead of a fresh one.
+            pipeline: A ready :class:`~repro.core.pipeline.UniDM` to wrap.
+            model: Simulated-model profile name for the default stack.
+            seed: Seed shared by the default pipeline and simulated LLM.
+            knowledge: World-knowledge store for the default simulated LLM.
+            cache_dir: Directory of a persistent completion cache.
+            batch_size: Micro-batch size of the fresh engine.
+            workers: Concurrent tasks in flight in the fresh engine.
+
+        Returns:
+            A :class:`Client` whose submissions run on the local engine.
+
+        Raises:
+            ValueError: If both ``pipeline`` and ``llm``/``config`` are given.
+
+        Example:
+            >>> from repro.api import Client, TransformationSpec
+            >>> spec = TransformationSpec(value="19990415",
+            ...                           examples=[["20000101", "2000-01-01"]])
+            >>> with Client.local(seed=0) as client:
+            ...     client.submit(spec).answer
+            '1999-04-15'
         """
         from ..core.config import UniDMConfig
         from ..core.pipeline import UniDM
@@ -116,8 +144,109 @@ class Client:
     def remote(
         cls, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0
     ) -> "Client":
-        """A client speaking the line protocol to a running TCP service."""
+        """A client speaking the line protocol to a running TCP service.
+
+        Args:
+            host: Service host (``python -m repro serve --port ...``).
+            port: Service TCP port.
+            timeout: Per-connection socket timeout in seconds.
+
+        Returns:
+            A :class:`Client` whose submissions travel over TCP; the
+            spec/result semantics are identical to :meth:`local`.
+        """
         return cls(_RemoteBackend(host, port, timeout))
+
+    @classmethod
+    def cluster(
+        cls,
+        workers: int = 4,
+        *,
+        mode: str = "thread",
+        seed: int = 0,
+        model: str | None = None,
+        knowledge: Any = None,
+        cache_dir: str | None = None,
+        batch_size: int = 8,
+        engine_workers: int = 8,
+        queue_depth: int = 32,
+        llm_factory: Any = None,
+        config: "UniDMConfig | None" = None,
+        router: "Router | None" = None,
+    ) -> "Client":
+        """A client over a sharded multi-worker cluster (see ``repro.cluster``).
+
+        Specs are consistent-hashed across ``workers`` serving stacks, each
+        owning a disjoint persistent-cache shard, so repeated work always
+        lands on the worker already holding its completions.  Submission
+        semantics are identical to :meth:`local` / :meth:`remote`.
+
+        Args:
+            workers: Number of shard workers.
+            mode: ``"thread"`` for in-process workers, ``"process"`` for
+                spawned ``python -m repro serve`` subprocesses speaking the
+                v2 TCP protocol.
+            seed: Seed of every worker's pipeline + simulated LLM.
+            model: Simulated-model profile of every worker.
+            knowledge: World-knowledge store shared by thread workers.
+            cache_dir: Parent directory of the per-worker persistent cache
+                shards (``<cache_dir>/worker-NN``).
+            batch_size: Micro-batch size of each worker's engine.
+            engine_workers: Concurrent tasks in flight per worker engine.
+            queue_depth: Bounded work-queue depth per thread worker
+                (backpressure bound).
+            llm_factory: ``int -> LanguageModel`` building a custom backend
+                per thread worker (benchmarks, tests).
+            config: Pipeline configuration override for thread workers.
+            router: A ready :class:`~repro.cluster.router.Router` to wrap
+                (every other argument is then ignored).
+
+        Returns:
+            A :class:`Client` whose submissions fan out across the cluster.
+
+        Raises:
+            ValueError: If ``mode`` is not ``"thread"`` or ``"process"``,
+                or ``workers`` is not positive.
+
+        Example:
+            >>> from repro.api import Client, TransformationSpec
+            >>> specs = [TransformationSpec(value=value,
+            ...                             examples=[["20000101", "2000-01-01"]])
+            ...          for value in ["19990415", "20061231"]]
+            >>> with Client.cluster(workers=2, seed=0) as client:
+            ...     [result.answer for result in client.submit_many(specs)]
+            ['1999-04-15', '2006-12-31']
+        """
+        from ..cluster.router import Router
+
+        if router is None:
+            if mode == "thread":
+                router = Router.local(
+                    workers,
+                    seed=seed,
+                    model=model,
+                    knowledge=knowledge,
+                    cache_dir=cache_dir,
+                    batch_size=batch_size,
+                    engine_workers=engine_workers,
+                    queue_depth=queue_depth,
+                    llm_factory=llm_factory,
+                    config=config,
+                )
+            elif mode == "process":
+                router = Router.spawn(
+                    workers,
+                    seed=seed,
+                    model=model,
+                    cache_dir=cache_dir,
+                    batch_size=batch_size,
+                    engine_workers=engine_workers,
+                )
+            else:
+                raise ValueError(
+                    f"mode must be 'thread' or 'process', got {mode!r}"
+                )
+        return cls(_ClusterBackend(router))
 
     # -------------------------------------------------------------- spec path
     def submit(self, spec: TaskSpec) -> TaskResult:
@@ -171,6 +300,18 @@ class Client:
     def pipeline(self) -> "UniDM":
         """The in-process pipeline (local clients only)."""
         return self._backend.service.pipeline
+
+    @property
+    def router(self) -> "Router":
+        """The cluster router (cluster clients only).
+
+        Raises:
+            TransportError: When this client is not a cluster client.
+        """
+        backend = self._backend
+        if not isinstance(backend, _ClusterBackend):
+            raise TransportError("this client has no router; use Client.cluster")
+        return backend.router
 
     def close(self) -> None:
         self._backend.close()
@@ -251,6 +392,36 @@ class _LocalBackend(_Backend):
 
     def run_tasks(self, tasks: "list[Task]") -> "list[ManipulationResult]":
         return self.service.run_tasks(tasks)
+
+
+class _ClusterBackend(_Backend):
+    """Requests answered by a sharded :class:`~repro.cluster.router.Router`.
+
+    The router exposes the same ``handle_batch`` contract as the in-process
+    service, so the facade treats a cluster exactly like a bigger local
+    service — per-spec placement, backpressure and failover live entirely
+    inside the router.
+    """
+
+    def __init__(self, router: "Router"):
+        self.router = router
+
+    def send(self, requests: list[dict]) -> list[dict]:
+        return self.router.handle_batch(requests)
+
+    async def asend(self, requests: list[dict]) -> list[dict]:
+        # Worker batches run their own event loops; keep them off this one.
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.router.handle_batch, requests)
+
+    def run_tasks(self, tasks: "list[Task]") -> "list[ManipulationResult]":
+        raise TransportError(
+            "run_task/run_tasks need a single local engine; a cluster routes "
+            "typed specs only — use submit/submit_many"
+        )
+
+    def close(self) -> None:
+        self.router.close()
 
 
 class _RemoteBackend(_Backend):

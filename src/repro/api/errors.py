@@ -100,3 +100,18 @@ class TaskFailedError(ApiError):
     @classmethod
     def from_info(cls, info: ErrorInfo) -> "TaskFailedError":
         return cls(info.message, field=info.field, code=info.code)
+
+
+#: Every ``error.code`` value a v2 response can carry, with the condition it
+#: reports.  This is the registry ``scripts/gen_protocol_docs.py`` renders
+#: into ``docs/wire-protocol.md`` — add new codes here, not just inline.
+ERROR_CODES: dict[str, str] = {
+    "invalid_request": "A task payload failed validation; `field` names the offending key.",
+    "unknown_task_type": "The request named a `type` outside the spec registry.",
+    "protocol_error": "The envelope itself was malformed (bad `v`, missing `task` object).",
+    "bad_json": "A request line never parsed as JSON (reported in position).",
+    "pipeline_failed": "A `pipeline` request's plan failed mid-execution; the message names the stage.",
+    "task_failed": "Client-side marker for an error response surfaced through `submit`.",
+    "transport_error": "Client-side: the service was unreachable or answered garbage.",
+    "error": "Catch-all used when a v1 bare-string error is lifted into the structured shape.",
+}

@@ -164,15 +164,32 @@ class TaskSpec:
 
     # -- contract ------------------------------------------------------------
     def validate(self) -> None:
-        """Raise :class:`InvalidRequestError` when the spec is malformed."""
+        """Check the spec's fields; runs automatically on construction.
+
+        Raises:
+            InvalidRequestError: When any field is malformed; ``field``
+                on the error names the offending key.
+        """
 
     def to_task(self) -> Task:
-        """Materialise the pipeline task this spec describes."""
+        """Materialise the pipeline task this spec describes.
+
+        Returns:
+            The :class:`~repro.core.tasks.base.Task` the execution engine
+            runs for this spec.
+        """
         raise NotImplementedError
 
     # -- wire form -----------------------------------------------------------
     def to_request(self) -> dict[str, Any]:
-        """The flat payload form (``type`` plus the spec's own fields)."""
+        """Serialize to the flat wire payload.
+
+        Returns:
+            ``{"type": ..., **fields}`` with default-valued fields omitted;
+            feeding it back through :func:`spec_from_request` round-trips
+            losslessly.  This canonical form is also what the flow planner
+            dedups on and the cluster router hashes for placement.
+        """
         payload: dict[str, Any] = {"type": self.type}
         for spec_field in dataclasses.fields(self):
             value = getattr(self, spec_field.name)
@@ -182,7 +199,18 @@ class TaskSpec:
 
     @classmethod
     def from_request(cls, payload: Mapping[str, Any]) -> "TaskSpec":
-        """Build the spec from a payload, ignoring envelope/unknown keys."""
+        """Build the spec from a payload, ignoring envelope/unknown keys.
+
+        Args:
+            payload: The flat wire form (``type`` plus task fields).
+
+        Returns:
+            A validated spec instance.
+
+        Raises:
+            InvalidRequestError: When a required field is missing or any
+                present field fails validation.
+        """
         known = {f.name for f in dataclasses.fields(cls)}
         kwargs = {k: v for k, v in payload.items() if k in known}
         missing = [

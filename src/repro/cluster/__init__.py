@@ -1,0 +1,40 @@
+"""Sharded multi-worker serving with cache affinity.
+
+``repro.cluster`` scales the single-process serving tier horizontally: a
+:class:`Router` consistent-hashes task specs across N workers — in-process
+:class:`ThreadWorker` shards or spawned :class:`SubprocessWorker` processes
+speaking the v2 TCP protocol — so each worker owns a disjoint persistent
+cache shard and repeated work always lands where its cache is.
+
+Entry points:
+
+* :meth:`repro.api.Client.cluster` — the facade constructor most code uses;
+* :meth:`Router.local` / :meth:`Router.spawn` — direct router assembly;
+* ``python -m repro serve --cluster --workers 4`` — the sharded service CLI.
+
+See ``docs/architecture.md`` for where the cluster tier sits in the stack.
+"""
+
+from .hashing import HashRing, spec_key
+from .router import Router
+from .stats import ClusterStats, WorkerStats
+from .workers import (
+    ClusterError,
+    SubprocessWorker,
+    ThreadWorker,
+    Worker,
+    WorkerDeadError,
+)
+
+__all__ = [
+    "ClusterError",
+    "ClusterStats",
+    "HashRing",
+    "Router",
+    "SubprocessWorker",
+    "ThreadWorker",
+    "Worker",
+    "WorkerDeadError",
+    "WorkerStats",
+    "spec_key",
+]

@@ -1,0 +1,398 @@
+"""The cluster router — sharded serving with cache affinity.
+
+:class:`Router` fans :class:`~repro.api.specs.TaskSpec` batches out over N
+workers (threads in-process, or spawned ``python -m repro serve`` processes
+speaking the v2 TCP protocol).  Placement is a consistent-hash ring over the
+spec's canonical wire form (:mod:`repro.cluster.hashing`), so:
+
+* the same spec always lands on the same worker — its completions live in
+  that worker's in-memory LRU and on-disk
+  :class:`~repro.serving.cache.PersistentCache` shard, and cache hits never
+  cross a shard boundary;
+* shard contents stay disjoint at the spec level — a worker only ever warms
+  prompts arising from specs it owns, so N workers hold N shards of the
+  cache, not N copies.  (Two *different* specs on different workers can
+  still issue one identical sub-prompt; that is duplicated work across
+  shards, not a correctness problem, and it is rare because whole specs —
+  the unit the flow planner dedups — never split.)
+
+Per-worker batches are submitted concurrently; each
+:class:`~repro.cluster.workers.ThreadWorker` applies its own bounded-queue
+backpressure.  When a worker dies mid-batch (:class:`WorkerDeadError`), the
+router removes it from the ring and requeues the affected specs onto the
+surviving workers — consistent hashing keeps every other spec exactly where
+its cache is.
+
+Determinism: each worker is a complete serving stack whose engine preserves
+the ordered-retrieval guarantee, so under the documented determinism regime
+(a warmed cache, or an execution that is a pure function of each spec — see
+:mod:`repro.serving.engine`) cluster results are bit-identical to a single
+engine's ``run_many`` at any worker count.  ``tests/cluster/test_parity.py``
+enforces this.
+
+Pipeline requests (:class:`~repro.api.pipeline_spec.PipelineSpec`) do not
+hash to one worker: the router runs the streaming
+:class:`~repro.flow.executor.FlowExecutor` itself and fans the plan's spec
+batches out across the ring, so a whole-table pipeline is cluster-parallel
+wave by wave.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..api.pipeline_spec import PipelineSpec
+from ..api.protocol import (
+    PROTOCOL_VERSION,
+    decode_response,
+    encode_error,
+    encode_request,
+    encode_success,
+)
+from ..api.results import TaskResult
+from ..api.specs import TaskSpec
+from .hashing import HashRing, spec_key
+from .stats import ClusterStats, WorkerStats
+from .workers import ClusterError, SubprocessWorker, ThreadWorker, Worker, WorkerDeadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import UniDMConfig
+    from ..llm.base import LanguageModel
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Routes spec batches across workers by consistent hash of the spec.
+
+    Parameters
+    ----------
+    workers:
+        The shard workers (see :mod:`repro.cluster.workers`).  The router
+        owns them: :meth:`close` closes every worker.
+    replicas:
+        Virtual nodes per worker on the hash ring.
+    health_interval:
+        Seconds between opportunistic liveness sweeps (checked at submit
+        time); ``None`` disables sweeps, leaving death detection to failed
+        submissions.
+
+    Raises
+    ------
+    ValueError
+        If no workers are given or two workers share an id.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Worker],
+        *,
+        replicas: int = 64,
+        health_interval: float | None = 30.0,
+    ):
+        if not workers:
+            raise ValueError("a cluster needs at least one worker")
+        ids = [worker.worker_id for worker in workers]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate worker ids: {ids}")
+        self.workers: dict[str, Worker] = {w.worker_id: w for w in workers}
+        self._ring = HashRing(ids, replicas=replicas)
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(workers), thread_name_prefix="repro-router"
+        )
+        self._lock = threading.Lock()
+        self._routed: dict[str, int] = {wid: 0 for wid in ids}
+        self._requeues = 0
+        self._deaths = 0
+        self.requests_served = 0
+        self._health_interval = health_interval
+        self._last_health = time.monotonic()
+        self._closed = False
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def local(
+        cls,
+        n_workers: int = 4,
+        *,
+        seed: int = 0,
+        model: str | None = None,
+        knowledge: Any = None,
+        cache_dir: str | None = None,
+        batch_size: int = 8,
+        engine_workers: int = 8,
+        queue_depth: int = 32,
+        llm_factory: "Any | None" = None,
+        config: "UniDMConfig | None" = None,
+        replicas: int = 64,
+    ) -> "Router":
+        """A router over ``n_workers`` in-process thread workers.
+
+        Every worker assembles its own serving stack (simulated LLM → cache
+        → engine) with the same ``seed``; with ``cache_dir`` each worker's
+        persistent shard lives in ``<cache_dir>/worker-NN``, so shards stay
+        disjoint on disk and re-open warm on restart.  ``llm_factory`` (an
+        ``int -> LanguageModel`` callable) substitutes a custom backend per
+        worker — benchmarks and parity tests use it.
+        """
+        from ..core.pipeline import UniDM
+        from ..serving.service import build_service
+
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        workers = []
+        for index in range(n_workers):
+            worker_id = f"worker-{index:02d}"
+            shard_dir = (
+                str(Path(cache_dir) / worker_id) if cache_dir is not None else None
+            )
+            service = build_service(
+                model=model,
+                seed=seed,
+                cache_dir=shard_dir,
+                batch_size=batch_size,
+                workers=engine_workers,
+                knowledge=knowledge,
+                llm=llm_factory(index) if llm_factory is not None else None,
+            )
+            if config is not None:
+                service.pipeline = UniDM(service.pipeline.llm, config)
+            workers.append(
+                ThreadWorker(worker_id, service, queue_depth=queue_depth)
+            )
+        return cls(workers, replicas=replicas)
+
+    @classmethod
+    def spawn(
+        cls,
+        n_workers: int = 4,
+        *,
+        seed: int = 0,
+        model: str | None = None,
+        cache_dir: str | None = None,
+        batch_size: int = 8,
+        engine_workers: int = 8,
+        host: str = "127.0.0.1",
+        replicas: int = 64,
+    ) -> "Router":
+        """A router over ``n_workers`` spawned ``repro serve`` subprocesses.
+
+        Each child binds its own TCP port and owns the
+        ``<cache_dir>/worker-NN`` shard directory; the router speaks the
+        existing v2 line protocol to them, so a subprocess cluster exercises
+        exactly the wire path a remote deployment would.
+        """
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        workers: list[Worker] = []
+        try:
+            for index in range(n_workers):
+                worker_id = f"worker-{index:02d}"
+                shard_dir = (
+                    str(Path(cache_dir) / worker_id) if cache_dir is not None else None
+                )
+                workers.append(
+                    SubprocessWorker(
+                        worker_id,
+                        host=host,
+                        seed=seed,
+                        model=model,
+                        cache_dir=shard_dir,
+                        batch_size=batch_size,
+                        engine_workers=engine_workers,
+                    )
+                )
+        except Exception:
+            for worker in workers:
+                worker.close()
+            raise
+        return cls(workers, replicas=replicas)
+
+    # ----------------------------------------------------------------- routing
+    def worker_for(self, spec: TaskSpec) -> str:
+        """The live worker id owning ``spec`` (affinity diagnostic)."""
+        return self._ring.node_for(spec_key(spec))
+
+    def submit_specs(self, specs: Sequence[TaskSpec]) -> list[TaskResult]:
+        """Execute specs across the cluster; results keep submission order.
+
+        Specs are grouped by ring placement and the per-worker groups run
+        concurrently.  A worker death mid-batch removes it from the ring and
+        requeues only its group — every other spec stays on the worker
+        holding its cache.  Per-item failures come back embedded as
+        ``result.error`` (like :meth:`repro.api.Client.submit_many`).
+
+        Raises
+        ------
+        ClusterError
+            When every worker has died.
+        """
+        results = self._dispatch(specs)
+        with self._lock:
+            # Top-level requests only: the nested wave submissions a
+            # pipeline plan makes through _dispatch do not inflate this.
+            self.requests_served += len(specs)
+        return results
+
+    def _dispatch(self, specs: Sequence[TaskSpec]) -> list[TaskResult]:
+        if self._closed:
+            raise ClusterError("router is closed")
+        self._maybe_sweep()
+        results: list[TaskResult | None] = [None] * len(specs)
+        pending: list[tuple[int, TaskSpec]] = []
+        plans: list[tuple[int, PipelineSpec]] = []
+        for index, spec in enumerate(specs):
+            if isinstance(spec, PipelineSpec):
+                plans.append((index, spec))
+            else:
+                pending.append((index, spec))
+
+        rounds = 0
+        while pending:
+            rounds += 1
+            if rounds > len(self.workers) + 1:  # pragma: no cover - defensive
+                raise ClusterError("requeue loop exceeded the worker count")
+            groups: dict[str, list[tuple[int, TaskSpec]]] = {}
+            try:
+                for index, spec in pending:
+                    groups.setdefault(self.worker_for(spec), []).append((index, spec))
+            except LookupError as exc:
+                raise ClusterError(str(exc)) from exc
+            futures = {
+                worker_id: self._pool.submit(self._submit_group, worker_id, group)
+                for worker_id, group in groups.items()
+            }
+            pending = []
+            for worker_id, future in futures.items():
+                group = groups[worker_id]
+                try:
+                    answered = future.result()
+                except (WorkerDeadError, ClusterError):
+                    self._mark_dead(worker_id)
+                    with self._lock:
+                        self._requeues += len(group)
+                    pending.extend(group)
+                    continue
+                for (index, _), result in zip(group, answered):
+                    results[index] = result
+
+        for index, spec in plans:
+            results[index] = self._run_plan(spec)
+        return [result for result in results if result is not None]
+
+    def _submit_group(
+        self, worker_id: str, group: "list[tuple[int, TaskSpec]]"
+    ) -> list[TaskResult]:
+        worker = self.workers[worker_id]
+        requests = [
+            encode_request(spec, request_id=local_id, version=PROTOCOL_VERSION)
+            for local_id, (_, spec) in enumerate(group)
+        ]
+        responses = worker.submit(requests)
+        if len(responses) != len(requests):
+            raise WorkerDeadError(
+                f"worker {worker_id} answered {len(responses)} responses "
+                f"for {len(requests)} requests"
+            )
+        with self._lock:
+            self._routed[worker_id] += len(group)
+        return [decode_response(response) for response in responses]
+
+    def _run_plan(self, spec: PipelineSpec) -> TaskResult:
+        from ..serving.service import run_pipeline_spec
+
+        return run_pipeline_spec(spec, self._dispatch)
+
+    # -------------------------------------------------------------- wire front
+    def handle_batch(self, requests: Sequence[Any]) -> list[dict]:
+        """Answer raw wire requests (either protocol generation) in order.
+
+        Parsing and error encoding go through the same
+        :func:`repro.serving.service.parse_batch` helper the single-process
+        service uses, so the two front-ends answer malformed input
+        identically — ``python -m repro serve --cluster`` is this method
+        behind a socket.
+        """
+        from ..serving.service import parse_batch
+
+        parsed_entries, responses = parse_batch(requests)
+        if parsed_entries:
+            specs = [parsed.spec for _, parsed in parsed_entries]
+            for (position, parsed), result in zip(
+                parsed_entries, self.submit_specs(specs)
+            ):
+                if result.error is not None:
+                    responses[position] = encode_error(
+                        result.error, parsed.id, parsed.version
+                    )
+                else:
+                    responses[position] = encode_success(
+                        result, parsed.id, parsed.version
+                    )
+        return [response for response in responses if response is not None]
+
+    # ------------------------------------------------------------------ health
+    def check_health(self) -> dict[str, bool]:
+        """Ping every worker; mark and un-ring the dead.  Returns id → alive."""
+        alive = {}
+        for worker_id, worker in self.workers.items():
+            ok = worker.ping()
+            alive[worker_id] = ok
+            if not ok and worker_id in self._ring:
+                self._mark_dead(worker_id)
+        return alive
+
+    def _maybe_sweep(self) -> None:
+        if self._health_interval is None:
+            return
+        now = time.monotonic()
+        if now - self._last_health >= self._health_interval:
+            self._last_health = now
+            self.check_health()
+
+    def _mark_dead(self, worker_id: str) -> None:
+        with self._lock:
+            if worker_id in self._ring:
+                self._ring.remove(worker_id)
+                self._deaths += 1
+
+    @property
+    def live_workers(self) -> set[str]:
+        return self._ring.nodes
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> ClusterStats:
+        """Aggregate a :class:`ClusterStats` snapshot across all workers."""
+        rows: list[WorkerStats] = []
+        for worker_id, worker in self.workers.items():
+            row = worker.stats()
+            row.alive = worker_id in self._ring and row.alive
+            row.routed = self._routed.get(worker_id, 0)
+            rows.append(row)
+        with self._lock:
+            return ClusterStats(
+                workers=rows,
+                routed=sum(self._routed.values()),
+                requeues=self._requeues,
+                deaths=self._deaths,
+            )
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut the pool down and close every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        for worker in self.workers.values():
+            worker.close()
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

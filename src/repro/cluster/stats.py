@@ -1,0 +1,108 @@
+"""Aggregated cluster metrics — one snapshot across every worker.
+
+:meth:`repro.cluster.router.Router.stats` assembles a :class:`ClusterStats`
+from per-worker :class:`WorkerStats` plus the router's own counters (specs
+routed, requeues after worker deaths).  Thread workers report their full
+serving-stack internals (cache hits, persistent entries, engine throughput);
+subprocess workers live in another process, so only the router-side counters
+and liveness are known for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ClusterStats", "WorkerStats"]
+
+
+@dataclass
+class WorkerStats:
+    """One worker's view of the world at snapshot time."""
+
+    worker_id: str
+    alive: bool = True
+    #: Specs the router sent this worker (router-side counter).
+    routed: int = 0
+    #: Requests the worker's service answered (thread workers only).
+    requests_served: int = 0
+    #: LLM cache counters (thread workers only; 0 when unknown).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    persistent_hits: int = 0
+    #: Entries in the worker's persistent cache shard (-1 when unknown).
+    cache_entries: int = -1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "alive": self.alive,
+            "routed": self.routed,
+            "requests_served": self.requests_served,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "persistent_hits": self.persistent_hits,
+            "cache_entries": self.cache_entries,
+        }
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-wide aggregate: per-worker rows plus router counters."""
+
+    workers: list[WorkerStats] = field(default_factory=list)
+    #: Specs routed since the router started.
+    routed: int = 0
+    #: Specs re-routed to a surviving worker after their owner died.
+    requeues: int = 0
+    #: Workers declared dead so far.
+    deaths: int = 0
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for worker in self.workers if worker.alive)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(worker.cache_hits for worker in self.workers)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(worker.cache_misses for worker in self.workers)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "workers": [worker.to_payload() for worker in self.workers],
+            "routed": self.routed,
+            "requeues": self.requeues,
+            "deaths": self.deaths,
+            "alive_workers": self.alive_workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def describe(self) -> str:
+        """One line per worker plus the aggregate, for CLI output."""
+        lines = [
+            f"cluster: {self.alive_workers}/{len(self.workers)} workers alive, "
+            f"{self.routed} specs routed, {self.requeues} requeued, "
+            f"hit rate {self.hit_rate:.2f}"
+        ]
+        for worker in self.workers:
+            state = "up" if worker.alive else "DEAD"
+            lines.append(
+                f"  {worker.worker_id}: {state}, routed {worker.routed}, "
+                f"served {worker.requests_served}, "
+                f"hits {worker.cache_hits}/{worker.cache_hits + worker.cache_misses}"
+            )
+        return "\n".join(lines)

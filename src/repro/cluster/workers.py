@@ -1,0 +1,326 @@
+"""Cluster workers — the execution shards behind the router.
+
+A worker is anything that answers v2 wire-protocol request batches in order
+(:meth:`Worker.submit`), can say whether it is alive (:meth:`Worker.ping`)
+and can report a :class:`~repro.cluster.stats.WorkerStats` row.  Two
+implementations ship:
+
+* :class:`ThreadWorker` — a full serving stack
+  (:class:`~repro.serving.service.ServingService` with its own pipeline,
+  engine and :class:`~repro.serving.cache.PersistentCache` shard) behind a
+  **bounded** work queue drained by one thread.  ``submit`` blocks while the
+  queue is full, so a slow shard exerts backpressure on the router instead
+  of buffering unboundedly.
+* :class:`SubprocessWorker` — a spawned ``python -m repro serve --port``
+  process spoken to over the existing v2 TCP line protocol; the process owns
+  its cache shard directory, so shards stay disjoint across process
+  boundaries too.
+
+Both raise :class:`WorkerDeadError` from ``submit`` once they are closed,
+killed or crashed — the router's requeue-on-death path keys off it.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from .stats import WorkerStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serving.service import ServingService
+
+__all__ = [
+    "ClusterError",
+    "SubprocessWorker",
+    "ThreadWorker",
+    "Worker",
+    "WorkerDeadError",
+]
+
+
+class ClusterError(RuntimeError):
+    """Base class of cluster-layer failures."""
+
+
+class WorkerDeadError(ClusterError):
+    """The worker cannot take work any more (closed, killed or crashed)."""
+
+
+class _StartupExit(ClusterError):
+    """Internal: a spawned worker exited before its socket came up."""
+
+
+#: Queue sentinel telling a thread worker's loop to exit.
+_STOP = object()
+
+
+class Worker:
+    """Contract every shard implements: ordered batches in, responses out."""
+
+    worker_id: str
+
+    def submit(self, requests: "list[dict]") -> "list[dict]":
+        """Answer one wire-request batch in order.
+
+        Raises
+        ------
+        WorkerDeadError
+            When the worker is no longer able to process batches; the
+            router reacts by removing it from the ring and re-routing.
+        """
+        raise NotImplementedError
+
+    def ping(self) -> bool:
+        """Cheap liveness check (no request is executed)."""
+        raise NotImplementedError
+
+    def stats(self) -> WorkerStats:
+        """A point-in-time stats row for :class:`ClusterStats`."""
+        return WorkerStats(worker_id=self.worker_id, alive=self.ping())
+
+    def close(self) -> None:
+        """Release the worker's resources; later ``submit`` calls raise."""
+
+    def kill(self) -> None:
+        """Simulate/force an ungraceful death (used by failover paths/tests)."""
+        self.close()
+
+
+class ThreadWorker(Worker):
+    """An in-process serving stack behind a bounded work queue.
+
+    Parameters
+    ----------
+    worker_id:
+        Ring identity; also names the cache shard directory.
+    service:
+        The worker-owned :class:`~repro.serving.service.ServingService`
+        (its pipeline, engine and persistent cache belong to this shard
+        only).
+    queue_depth:
+        Maximum batches waiting in the worker's queue.  ``submit`` blocks
+        when the queue is full — this is the cluster's backpressure bound.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        service: "ServingService",
+        *,
+        queue_depth: int = 32,
+    ):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        self.worker_id = worker_id
+        self.service = service
+        self.queue_depth = queue_depth
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-cluster-{worker_id}", daemon=True
+        )
+        self._thread.start()
+
+    # ----------------------------------------------------------------- running
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            requests, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(self.service.handle_batch(requests))
+            except BaseException as exc:  # surfaced to the submitting thread
+                future.set_exception(exc)
+
+    def submit(self, requests: "list[dict]") -> "list[dict]":
+        if self._closed or not self._thread.is_alive():
+            raise WorkerDeadError(f"worker {self.worker_id} is not accepting work")
+        future: "Future[list[dict]]" = Future()
+        # Blocks while queue_depth batches are already waiting: backpressure.
+        self._queue.put((requests, future))
+        if self._closed:
+            # close() raced the enqueue; the loop may never drain the item.
+            future.cancel()
+            raise WorkerDeadError(f"worker {self.worker_id} shut down mid-submit")
+        return future.result()
+
+    # ------------------------------------------------------------------ health
+    def ping(self) -> bool:
+        return not self._closed and self._thread.is_alive()
+
+    def stats(self) -> WorkerStats:
+        row = WorkerStats(worker_id=self.worker_id, alive=self.ping())
+        row.requests_served = self.service.requests_served
+        llm = self.service.pipeline.llm
+        row.cache_hits = getattr(llm, "hits", 0)
+        row.cache_misses = getattr(llm, "misses", 0)
+        row.persistent_hits = getattr(llm, "persistent_hits", 0)
+        persistent = getattr(llm, "persistent", None)
+        if persistent is not None:
+            row.cache_entries = len(persistent)
+        return row
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._thread.join(timeout=5.0)
+
+
+class SubprocessWorker(Worker):
+    """A spawned ``python -m repro serve --port`` process as a shard.
+
+    The child speaks the v2 TCP line protocol of
+    :mod:`repro.serving.service`; one connection per batch, exactly like
+    :meth:`repro.api.Client.remote`.  Its persistent-cache shard lives in
+    the directory passed at spawn time, so worker caches stay disjoint
+    across processes and survive restarts.
+    """
+
+    #: Seconds to wait for the child's socket to accept connections.
+    STARTUP_TIMEOUT = 15.0
+
+    def __init__(
+        self,
+        worker_id: str,
+        *,
+        host: str = "127.0.0.1",
+        seed: int = 0,
+        model: str | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        batch_size: int = 8,
+        engine_workers: int = 8,
+        timeout: float = 60.0,
+    ):
+        self.worker_id = worker_id
+        self.host = host
+        self.timeout = timeout
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        # The free-port probe is racy (the port is released before the child
+        # binds it); a child that dies during startup — the symptom of losing
+        # that race — gets a fresh port and another try.
+        for attempt in range(3):
+            self.port = _free_port(host)
+            command = [
+                sys.executable,
+                "-m",
+                "repro",
+                "--seed",
+                str(seed),
+                "serve",
+                "--host",
+                host,
+                "--port",
+                str(self.port),
+                "--batch-size",
+                str(batch_size),
+                "--workers",
+                str(engine_workers),
+            ]
+            if model is not None:
+                command += ["--model", model]
+            if cache_dir is not None:
+                command += ["--cache-dir", str(cache_dir)]
+            self._process = subprocess.Popen(
+                command,
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            try:
+                self._wait_ready()
+                return
+            except _StartupExit:
+                if attempt == 2:
+                    raise ClusterError(
+                        f"worker {self.worker_id} exited with "
+                        f"{self._process.returncode} during startup "
+                        f"(3 attempts)"
+                    )
+
+    def _wait_ready(self) -> None:
+        deadline = time.monotonic() + self.STARTUP_TIMEOUT
+        while time.monotonic() < deadline:
+            if self._process.poll() is not None:
+                raise _StartupExit()
+            try:
+                with socket.create_connection((self.host, self.port), timeout=0.25):
+                    return
+            except OSError:
+                time.sleep(0.05)
+        self.close()
+        raise ClusterError(f"worker {self.worker_id} never became reachable")
+
+    # ----------------------------------------------------------------- running
+    def submit(self, requests: "list[dict]") -> "list[dict]":
+        from ..api.client import _RemoteBackend
+        from ..api.errors import TransportError
+
+        if not self.ping():
+            raise WorkerDeadError(f"worker {self.worker_id} process is gone")
+        try:
+            return _RemoteBackend(self.host, self.port, self.timeout).send(requests)
+        except TransportError as exc:
+            raise WorkerDeadError(
+                f"worker {self.worker_id} dropped a batch: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------ health
+    def ping(self) -> bool:
+        if self._process.poll() is not None:
+            return False
+        try:
+            with socket.create_connection((self.host, self.port), timeout=0.5):
+                return True
+        except OSError:
+            return False
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._process.poll() is None:
+            self._process.terminate()
+            try:
+                self._process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                self._process.kill()
+                self._process.wait(timeout=5.0)
+
+    def kill(self) -> None:
+        """Hard-kill the child (the crash the router must survive)."""
+        if self._process.poll() is None:
+            self._process.kill()
+            self._process.wait(timeout=5.0)
+
+
+def _free_port(host: str) -> int:
+    """Ask the OS for an unused TCP port.
+
+    The probe is inherently racy — the port is free only until something
+    else grabs it; :class:`SubprocessWorker` retries with a fresh port when
+    its child loses that race and dies during startup.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+#: Signature of the factory Router.local uses to build one shard's service.
+ServiceFactory = Callable[[int], "ServingService"]

@@ -159,7 +159,20 @@ class Operator:
 
     # -- LLM operators -------------------------------------------------------
     def compile(self, table: Table) -> list[WorkItem]:
-        """Turn one table (partition) into the LLM work it implies."""
+        """Turn one table (partition) into the LLM work it implies.
+
+        Args:
+            table: The input partition in its current (post-upstream) state.
+
+        Returns:
+            One :class:`WorkItem` (row reference + task spec) per cell or
+            row this operator must ask the LLM about; an empty list when
+            the partition needs no work.
+
+        Raises:
+            NotImplementedError: On relational operators (``needs_llm`` is
+                False); the executor calls :meth:`transform` instead.
+        """
         raise NotImplementedError(f"{self.op} is not an LLM operator")
 
     def apply(
@@ -168,12 +181,31 @@ class Operator:
         results: Sequence[tuple[WorkItem, Any]],
         answers: dict[str, Any],
     ) -> Table:
-        """Write answered values back into the table; may fill ``answers``."""
+        """Write answered values back into the table.
+
+        Args:
+            table: The partition :meth:`compile` ran over.
+            results: ``(work item, answered value)`` pairs, in compile
+                order.
+            answers: The run-wide table-level answer channel; barrier
+                operators (Ask, Join) record their verdicts here.
+
+        Returns:
+            The updated partition (a new table; inputs are not mutated).
+        """
         raise NotImplementedError(f"{self.op} is not an LLM operator")
 
     # -- relational operators ------------------------------------------------
     def transform(self, table: Table) -> Table:
-        """Apply a pure relational operator (no LLM calls)."""
+        """Apply a pure relational operator (no LLM calls).
+
+        Returns:
+            The reshaped table.
+
+        Raises:
+            NotImplementedError: On LLM operators; the executor routes them
+                through :meth:`compile` / :meth:`apply`.
+        """
         raise NotImplementedError(f"{self.op} is an LLM operator")
 
     # -- wire form -----------------------------------------------------------

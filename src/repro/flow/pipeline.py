@@ -126,8 +126,24 @@ class Pipeline:
         The pipeline is compiled stage-by-stage into deduplicated spec
         batches and streamed through ``client.submit_many`` — a local client
         runs them on the in-process engine, a remote client ships the same
-        batches to the TCP service; either way the pipeline sees identical
+        batches to the TCP service, and a cluster client fans each wave out
+        across its shards; in every case the pipeline sees identical
         request/response semantics.
+
+        Args:
+            table: The input table (validated statically before any LLM call).
+            client: Any :class:`~repro.api.Client`; when omitted a local
+                stack is assembled with ``seed`` and closed afterwards.
+            batch_size: Specs per ``submit_many`` round.
+            seed: Seed of the implicit local stack (ignored with ``client``).
+
+        Returns:
+            A :class:`~repro.flow.executor.FlowResult`: the processed table,
+            table-level answers, and the execution report.
+
+        Raises:
+            FlowError: When a stage reads a missing column (statically) or
+                any submitted spec fails (naming the stage).
         """
         owns_client = client is None
         if client is None:

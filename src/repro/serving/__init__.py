@@ -15,7 +15,14 @@ accepted) across all seven task types of the unified framework.
 from .batcher import BatcherStats, MicroBatcher
 from .cache import PersistentCache, prompt_key
 from .engine import EngineConfig, EngineReport, ExecutionEngine
-from .service import ServingService, build_service, build_task
+from .service import (
+    ServingService,
+    build_service,
+    build_task,
+    run_pipeline_spec,
+    serve_lines,
+    start_line_server,
+)
 from .stages import OrderedGate, drive_async, execute_task
 
 __all__ = [
@@ -32,4 +39,7 @@ __all__ = [
     "drive_async",
     "execute_task",
     "prompt_key",
+    "run_pipeline_spec",
+    "serve_lines",
+    "start_line_server",
 ]

@@ -37,7 +37,7 @@ import sys
 import threading
 import warnings
 from dataclasses import dataclass
-from typing import Any, IO, Iterable, Sequence
+from typing import Any, Callable, IO, Iterable, Sequence
 
 from ..api.errors import ApiError, ErrorInfo, InvalidRequestError
 from ..api.pipeline_spec import PipelineSpec
@@ -117,27 +117,20 @@ class ServingService:
         slots: list[tuple[int, Any, int]] = []
         #: Pipeline (plan-level) requests, answered after the task batch.
         plans: list[tuple[int, ParsedRequest]] = []
-        responses: list[dict | None] = [None] * len(requests)
-        for position, request in enumerate(requests):
-            request_id = request.get("id") if isinstance(request, dict) else None
-            version = 1
+        parsed_entries, responses = parse_batch(requests)
+        for position, parsed in parsed_entries:
+            if isinstance(parsed.spec, PipelineSpec):
+                plans.append((position, parsed))
+                continue
             try:
-                if isinstance(request, InvalidRequest):
-                    raise InvalidRequestError(request.error, code="bad_json")
-                parsed = parse_request(request)
-                request_id, version = parsed.id, parsed.version
-                if isinstance(parsed.spec, PipelineSpec):
-                    plans.append((position, parsed))
-                    continue
                 tasks.append(parsed.spec.to_task())
-                slots.append((position, request_id, version))
-            except ApiError as exc:
-                version = _claimed_version(request)
-                responses[position] = encode_error(exc.info, request_id, version)
-            except (ValueError, KeyError, TypeError, IndexError) as exc:
-                version = _claimed_version(request)
-                error = ErrorInfo(code="invalid_request", message=str(exc))
-                responses[position] = encode_error(error, request_id, version)
+            except (ApiError, ValueError, KeyError, TypeError, IndexError) as exc:
+                info = exc.info if isinstance(exc, ApiError) else ErrorInfo(
+                    code="invalid_request", message=str(exc)
+                )
+                responses[position] = encode_error(info, parsed.id, parsed.version)
+                continue
+            slots.append((position, parsed.id, parsed.version))
         if tasks:
             results = self.pipeline.run_many(tasks, engine=self.engine)
             for (position, request_id, version), result in zip(slots, results):
@@ -162,32 +155,11 @@ class ServingService:
 
     def _run_plan_locked(self, parsed: ParsedRequest) -> dict:
         """Answer one pipeline request by running the streaming flow executor."""
-        from ..flow.executor import FlowExecutor
-        from ..flow.operators import FlowError
-
-        spec = parsed.spec
-        try:
-            flow_result = FlowExecutor(self._run_specs_locked).run(
-                spec.to_pipeline(), spec.to_table()
-            )
-        except FlowError as exc:
-            error = ErrorInfo(code="pipeline_failed", message=str(exc))
-            return encode_error(error, parsed.id, parsed.version)
-        payload = TaskResult(
-            answer={
-                # Columns travel separately so an empty result still carries
-                # the pipeline's output schema.
-                "columns": flow_result.table.schema.names,
-                "rows": flow_result.table.to_dicts(),
-                "answers": flow_result.answers,
-                "report": flow_result.report.to_payload(),
-            },
-            task_type="pipeline",
-            tokens=flow_result.report.llm_tokens,
-            calls=flow_result.report.llm_calls,
-            id=parsed.id,
-        )
-        return encode_success(payload, parsed.id, parsed.version)
+        result = run_pipeline_spec(parsed.spec, self._run_specs_locked)
+        result.id = parsed.id
+        if result.error is not None:
+            return encode_error(result.error, parsed.id, parsed.version)
+        return encode_success(result, parsed.id, parsed.version)
 
     def handle_request(self, request: dict) -> dict:
         return self.handle_batch([request])[0]
@@ -199,26 +171,7 @@ class ServingService:
         Blank lines flush the accumulated batch through the engine; EOF
         flushes and returns the number of requests served.
         """
-        batch: list[dict] = []
-
-        def flush() -> None:
-            if not batch:
-                return
-            for response in self.handle_batch(batch):
-                out_stream.write(json.dumps(response, ensure_ascii=False) + "\n")
-            out_stream.flush()
-            batch.clear()
-
-        for line in in_stream:
-            line = line.strip()
-            if not line:
-                flush()
-                continue
-            try:
-                batch.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                batch.append(InvalidRequest(f"bad JSON: {exc}"))
-        flush()
+        serve_lines(self.handle_batch, in_stream, out_stream)
         return self.requests_served
 
     async def serve_tcp(self, host: str = "127.0.0.1", port: int = 8765) -> None:
@@ -229,47 +182,172 @@ class ServingService:
 
     async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.AbstractServer:
         """Bind the socket server and return it without blocking (for embedding)."""
-        loop = asyncio.get_running_loop()
-
-        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
-            batch: list[dict] = []
-
-            async def flush() -> None:
-                if not batch:
-                    return
-                # handle_batch spins its own event loop (engine.run), so it
-                # must not run on this loop's thread.
-                responses = await loop.run_in_executor(None, self.handle_batch, list(batch))
-                batch.clear()
-                for response in responses:
-                    writer.write((json.dumps(response, ensure_ascii=False) + "\n").encode())
-                await writer.drain()
-
-            try:
-                while True:
-                    line = await reader.readline()
-                    if not line:
-                        break
-                    text = line.decode().strip()
-                    if not text:
-                        await flush()
-                        continue
-                    try:
-                        batch.append(json.loads(text))
-                    except json.JSONDecodeError as exc:
-                        batch.append(InvalidRequest(f"bad JSON: {exc}"))
-                await flush()
-            finally:
-                writer.close()
-
-        return await asyncio.start_server(handle, host, port)
+        return await start_line_server(self.handle_batch, host, port)
 
 
-def _claimed_version(request: Any) -> int:
+#: Contract of a batch handler: raw request objects in, responses in order.
+BatchHandler = Callable[[list], "list[dict]"]
+
+
+def parse_batch(
+    requests: Sequence[Any],
+) -> "tuple[list[tuple[int, ParsedRequest]], list[dict | None]]":
+    """Parse raw wire requests into specs, encoding failures in position.
+
+    The single parsing/error path shared by the single-process service and
+    the cluster router, so the two front-ends cannot drift: unparseable
+    lines (:class:`InvalidRequest`) become ``bad_json`` errors, validation
+    failures carry their :class:`~repro.api.errors.ApiError` info, and all
+    error responses use the request's claimed protocol generation.
+
+    Returns:
+        ``(parsed, responses)`` where ``parsed`` holds ``(position,
+        ParsedRequest)`` for every valid request and ``responses`` is a
+        request-aligned list containing an encoded error response for each
+        invalid one (``None`` elsewhere).
+    """
+    parsed_entries: list[tuple[int, ParsedRequest]] = []
+    responses: list[dict | None] = [None] * len(requests)
+    for position, request in enumerate(requests):
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            if isinstance(request, InvalidRequest):
+                raise InvalidRequestError(request.error, code="bad_json")
+            parsed_entries.append((position, parse_request(request)))
+        except ApiError as exc:
+            version = claimed_version(request)
+            responses[position] = encode_error(exc.info, request_id, version)
+        except (ValueError, KeyError, TypeError, IndexError) as exc:
+            version = claimed_version(request)
+            error = ErrorInfo(code="invalid_request", message=str(exc))
+            responses[position] = encode_error(error, request_id, version)
+    return parsed_entries, responses
+
+
+def serve_lines(
+    handle_batch: BatchHandler, in_stream: IO[str], out_stream: IO[str]
+) -> int:
+    """Drive any batch handler over the newline-delimited text protocol.
+
+    Shared by the single-service and cluster front-ends: blank lines flush
+    the accumulated batch through ``handle_batch``; EOF flushes and returns
+    the number of requests forwarded.  Unparseable lines become
+    :class:`InvalidRequest` markers so the handler can answer them in
+    position with a ``bad_json`` error.
+    """
+    forwarded = 0
+    batch: list = []
+
+    def flush() -> None:
+        nonlocal forwarded
+        if not batch:
+            return
+        forwarded += len(batch)
+        for response in handle_batch(list(batch)):
+            out_stream.write(json.dumps(response, ensure_ascii=False) + "\n")
+        out_stream.flush()
+        batch.clear()
+
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            flush()
+            continue
+        try:
+            batch.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            batch.append(InvalidRequest(f"bad JSON: {exc}"))
+    flush()
+    return forwarded
+
+
+async def start_line_server(
+    handle_batch: BatchHandler, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind a TCP server speaking the line protocol over any batch handler.
+
+    Each connection accumulates request lines and flushes on blank lines;
+    batches execute on a worker thread (``handle_batch`` may spin its own
+    event loop) so the accept loop stays responsive.
+    """
+    loop = asyncio.get_running_loop()
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        batch: list = []
+
+        async def flush() -> None:
+            if not batch:
+                return
+            responses = await loop.run_in_executor(None, handle_batch, list(batch))
+            batch.clear()
+            for response in responses:
+                writer.write((json.dumps(response, ensure_ascii=False) + "\n").encode())
+            await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode().strip()
+                if not text:
+                    await flush()
+                    continue
+                try:
+                    batch.append(json.loads(text))
+                except json.JSONDecodeError as exc:
+                    batch.append(InvalidRequest(f"bad JSON: {exc}"))
+            await flush()
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)
+
+
+def run_pipeline_spec(spec: PipelineSpec, submit: "Callable") -> TaskResult:
+    """Execute one :class:`PipelineSpec` through a spec-batch backend.
+
+    Shared by the single service (``submit`` = its locked engine path) and
+    the cluster router (``submit`` = the sharded fan-out): runs the
+    streaming :class:`~repro.flow.executor.FlowExecutor` and adapts the
+    outcome into a :class:`TaskResult`.  A failed plan comes back with a
+    structured ``pipeline_failed`` error instead of raising.
+    """
+    from ..flow.executor import FlowExecutor
+    from ..flow.operators import FlowError
+
+    try:
+        flow_result = FlowExecutor(submit).run(spec.to_pipeline(), spec.to_table())
+    except FlowError as exc:
+        return TaskResult(
+            answer=None,
+            task_type="pipeline",
+            error=ErrorInfo(code="pipeline_failed", message=str(exc)),
+        )
+    return TaskResult(
+        answer={
+            # Columns travel separately so an empty result still carries
+            # the pipeline's output schema.
+            "columns": flow_result.table.schema.names,
+            "rows": flow_result.table.to_dicts(),
+            "answers": flow_result.answers,
+            "report": flow_result.report.to_payload(),
+        },
+        task_type="pipeline",
+        tokens=flow_result.report.llm_tokens,
+        calls=flow_result.report.llm_calls,
+    )
+
+
+def claimed_version(request: Any) -> int:
     """Best-effort protocol generation of a failed request (for its response)."""
     if isinstance(request, dict) and isinstance(request.get("v"), int) and request["v"] >= 2:
         return 2
     return 1
+
+
+#: Backwards-compatible alias (pre-cluster internal name).
+_claimed_version = claimed_version
 
 
 def build_service(

@@ -1,0 +1,40 @@
+"""The docstring examples of the public API must stay runnable.
+
+The ``Client.local`` / ``Client.cluster`` examples (and every other
+doctest in the ``repro.api`` and ``repro.cluster`` modules) are executed
+here under the tier-1 suite, and again by the CI docs job via
+``pytest --doctest-modules src/repro/api``.  A drifting example fails the
+build instead of rotting in the docs.
+"""
+
+import doctest
+
+import pytest
+
+import repro.api.client
+import repro.api.errors
+import repro.api.protocol
+import repro.api.results
+import repro.api.specs
+import repro.cluster.hashing
+
+MODULES = [
+    repro.api.client,
+    repro.api.errors,
+    repro.api.protocol,
+    repro.api.results,
+    repro.api.specs,
+    repro.cluster.hashing,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests_pass(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+def test_client_examples_are_actually_exercised():
+    """Guard: the facade examples exist (not silently deleted)."""
+    results = doctest.testmod(repro.api.client, verbose=False)
+    assert results.attempted >= 4  # Client.local + Client.cluster examples

@@ -1,0 +1,22 @@
+"""Cluster test fixtures (helpers live in ``cluster_testing.py``).
+
+The helper module carries a unique name on purpose: benchmark tests import
+their own ``conftest`` as a plain module, so a second ``from conftest
+import ...`` inside ``tests/cluster`` would collide with it in full-suite
+runs.  The explicit path insert keeps ``cluster_testing`` importable no
+matter which directory pytest imported first.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import pytest
+
+from cluster_testing import make_mixed_specs
+
+
+@pytest.fixture
+def mixed_specs():
+    return make_mixed_specs()

@@ -1,0 +1,61 @@
+"""Unit tests for the consistent-hash ring and the spec routing key."""
+
+import pytest
+
+from repro.api import TransformationSpec
+from repro.cluster import HashRing, spec_key
+
+
+def test_ring_is_deterministic_across_instances():
+    keys = [f"key-{i}" for i in range(200)]
+    ring_a = HashRing(["w0", "w1", "w2"])
+    ring_b = HashRing(["w2", "w0", "w1"])  # insertion order must not matter
+    assert [ring_a.node_for(k) for k in keys] == [ring_b.node_for(k) for k in keys]
+
+
+def test_every_node_owns_some_keys():
+    ring = HashRing([f"w{i}" for i in range(4)], replicas=64)
+    counts = ring.distribution(f"key-{i}" for i in range(400))
+    assert set(counts) == {"w0", "w1", "w2", "w3"}
+    assert all(count > 0 for count in counts.values())
+
+
+def test_removal_moves_only_the_dead_nodes_keys():
+    ring = HashRing(["w0", "w1", "w2", "w3"])
+    keys = [f"key-{i}" for i in range(300)]
+    before = {key: ring.node_for(key) for key in keys}
+    ring.remove("w2")
+    for key in keys:
+        after = ring.node_for(key)
+        if before[key] != "w2":
+            assert after == before[key], "a surviving node's key moved"
+        else:
+            assert after != "w2"
+
+
+def test_add_is_idempotent_and_remove_unknown_is_noop():
+    ring = HashRing(["w0"])
+    ring.add("w0")
+    ring.remove("ghost")
+    assert ring.nodes == {"w0"}
+    assert len(ring) == 1
+
+
+def test_empty_ring_raises_lookup_error():
+    ring = HashRing(["w0"])
+    ring.remove("w0")
+    with pytest.raises(LookupError):
+        ring.node_for("anything")
+
+
+def test_replicas_must_be_positive():
+    with pytest.raises(ValueError):
+        HashRing(replicas=0)
+
+
+def test_spec_key_is_stable_and_content_addressed():
+    spec = TransformationSpec(value="19990415", examples=[["a", "b"]])
+    same = TransformationSpec(value="19990415", examples=[["a", "b"]])
+    other = TransformationSpec(value="20230101", examples=[["a", "b"]])
+    assert spec_key(spec) == spec_key(same)
+    assert spec_key(spec) != spec_key(other)

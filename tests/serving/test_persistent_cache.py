@@ -86,3 +86,67 @@ def test_compact_rewrites_one_line_per_key(tmp_path):
 def test_rejects_nonpositive_shards(tmp_path):
     with pytest.raises(ValueError):
         PersistentCache(tmp_path / "c", shards=0)
+
+
+# ------------------------------------------------------- cluster shard handoff
+def test_concurrent_writers_on_disjoint_shard_dirs(tmp_path):
+    """Cluster regime: N workers each append to their own shard directory."""
+    import threading
+
+    def warm(worker_index: int) -> None:
+        shard = PersistentCache(tmp_path / f"worker-{worker_index:02d}")
+        for i in range(40):
+            shard.put(f"worker {worker_index} prompt {i}", f"answer {i}")
+
+    threads = [threading.Thread(target=warm, args=(w,)) for w in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for worker_index in range(4):
+        reopened = PersistentCache(tmp_path / f"worker-{worker_index:02d}")
+        assert len(reopened) == 40
+        assert reopened.get(f"worker {worker_index} prompt 7") == "answer 7"
+        # Handoff stays local: no worker sees another worker's entries.
+        assert reopened.get(f"worker {(worker_index + 1) % 4} prompt 7") is None
+
+
+def test_concurrent_writers_through_one_cache_instance(tmp_path):
+    """Thread-safety of one shard under parallel appends (engine threads)."""
+    import threading
+
+    cache = PersistentCache(tmp_path / "c", shards=4)
+
+    def write(prefix: str) -> None:
+        for i in range(50):
+            cache.put(f"{prefix} prompt {i}", f"{prefix} answer {i}")
+
+    threads = [threading.Thread(target=write, args=(f"t{t}",)) for t in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(cache) == 400
+    reopened = PersistentCache(tmp_path / "c", shards=4)
+    assert len(reopened) == 400
+    assert reopened.get("t3 prompt 17") == "t3 answer 17"
+
+
+def test_reopen_after_crash_with_torn_line_mid_file(tmp_path):
+    """A torn line anywhere in a shard is skipped; later entries survive.
+
+    An interrupted writer can leave a truncated record that other processes
+    append after (the cluster handoff case: a worker dies mid-put and a
+    fresh worker re-opens + extends the same shard directory).
+    """
+    cache = PersistentCache(tmp_path / "c", shards=1)
+    cache.put("before", "kept")
+    shard = tmp_path / "c" / "shard-00.jsonl"
+    with open(shard, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "deadbeef", "text": "tru\n')  # crash mid-record
+    survivor = PersistentCache(tmp_path / "c", shards=1)
+    survivor.put("after", "also kept")
+    reopened = PersistentCache(tmp_path / "c", shards=1)
+    assert reopened.get("before") == "kept"
+    assert reopened.get("after") == "also kept"
+    assert len(reopened) == 2
