@@ -14,11 +14,10 @@ deterministic regime in ``tests/cluster/test_parity.py``; this benchmark
 measures wall-clock only.  Results land in ``BENCH_cluster.json``.
 """
 
-import json
 import time
-from pathlib import Path
 
 from conftest import run_once
+from report import write_bench
 
 from repro.api import (
     Client,
@@ -168,5 +167,4 @@ def test_four_workers_double_throughput_over_one(benchmark):
         },
         "speedup": round(speedup, 3),
     }
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench("cluster", payload)

@@ -13,11 +13,10 @@ Claim checked (the flow acceptance criterion): the pipeline needs at least
 output shape.  Results are written to ``BENCH_flow.json`` at the repo root.
 """
 
-import json
 import time
-from pathlib import Path
 
 from conftest import run_once
+from report import write_bench
 
 from repro.api import Client
 from repro.core import UniDMConfig
@@ -141,5 +140,4 @@ def test_flow_executor_halves_llm_calls_vs_per_row_loop(benchmark):
         },
         "llm_call_reduction": round(loop_calls / flow_calls, 3) if flow_calls else None,
     }
-    out_path = Path(__file__).resolve().parent.parent / "BENCH_flow.json"
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    write_bench("flow", payload)

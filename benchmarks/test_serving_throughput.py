@@ -16,6 +16,7 @@ Two claims are measured on a 50-task Restaurant imputation workload:
 import time
 
 from conftest import run_once
+from report import write_bench
 
 from repro.core import UniDM, UniDMConfig
 from repro.datasets import load_dataset
@@ -110,6 +111,20 @@ def test_engine_with_warmed_cache_beats_sequential_bitwise(benchmark, tmp_path):
         f"engine {t_engine:.3f}s vs sequential {t_sequential:.3f}s"
     )
 
+    write_bench(
+        "serving",
+        {
+            "workload": {"tasks": N_TASKS, "dataset": "restaurant"},
+            "sequential_cold": {"elapsed_s": round(t_sequential, 4)},
+            "engine_warm": {
+                "elapsed_s": round(t_engine, 4),
+                "tasks_per_s": round(engine.last_report.tasks_per_second, 2),
+                "llm_requests": engine.last_report.stats.requests,
+            },
+            "speedup": round(t_sequential / t_engine, 3),
+        },
+    )
+
 
 def test_cold_micro_batching_amortises_backend_round_trips(benchmark):
     dataset = _workload()
@@ -143,4 +158,21 @@ def test_cold_micro_batching_amortises_backend_round_trips(benchmark):
     assert eng_llm.round_trips < seq_llm.round_trips
     assert t_engine < t_sequential, (
         f"engine {t_engine:.3f}s vs sequential {t_sequential:.3f}s"
+    )
+
+    write_bench(
+        "batching",
+        {
+            "workload": {"tasks": N_TASKS, "backend_latency_s": latency},
+            "sequential": {
+                "elapsed_s": round(t_sequential, 4),
+                "round_trips": seq_llm.round_trips,
+            },
+            "engine": {
+                "elapsed_s": round(t_engine, 4),
+                "round_trips": eng_llm.round_trips,
+                "mean_batch": round(stats.mean_batch, 3),
+            },
+            "round_trip_reduction": round(seq_llm.round_trips / eng_llm.round_trips, 3),
+        },
     )

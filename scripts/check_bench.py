@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over the committed ``BENCH_*.json`` baselines.
+
+The benchmark suite writes machine-readable artifacts through
+``benchmarks/report.py``.  This script compares a freshly generated set
+(``--fresh``, typically ``$REPRO_BENCH_DIR`` from a short-mode CI run)
+against the committed baselines (``--baseline``, the repo root) and fails
+when any **gated ratio** dropped by more than ``--threshold`` (default 20%).
+
+Only within-run ratios are gated — cluster speedup, flow dedup/call
+reduction, warm-cache serving speedup, micro-batching round-trip
+reduction.  They compare two runs on the *same* machine, so a slow CI
+runner cannot fail the gate; raw wall-clock and throughput numbers are
+printed for context but never compared across machines.
+
+Usage::
+
+    REPRO_BENCH_DIR=bench-fresh python -m pytest \
+        benchmarks/test_cluster_throughput.py \
+        benchmarks/test_flow_throughput.py \
+        benchmarks/test_serving_throughput.py -q
+    python scripts/check_bench.py --baseline . --fresh bench-fresh
+
+Exit status 1 on any regression (or a missing fresh artifact), 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Gated metrics: artifact name -> list of (dotted key path, human label).
+GATED_METRICS: dict[str, list[tuple[str, str]]] = {
+    "cluster": [("speedup", "4-worker cluster speedup")],
+    "flow": [
+        ("llm_call_reduction", "flow LLM-call reduction vs per-row loop"),
+        ("flow_executor.dedup_factor", "flow spec dedup factor"),
+    ],
+    "serving": [("speedup", "warm-cache engine speedup vs cold sequential")],
+    "batching": [("round_trip_reduction", "micro-batching round-trip reduction")],
+}
+
+
+def dig(payload: dict, path: str):
+    value = payload
+    for part in path.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def load(directory: Path, name: str) -> dict | None:
+    path = directory / f"BENCH_{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=".",
+        help="directory of the committed BENCH_*.json baselines (repo root)",
+    )
+    parser.add_argument(
+        "--fresh",
+        required=True,
+        help="directory of the freshly generated BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional drop of a gated ratio (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline)
+    fresh_dir = Path(args.fresh)
+    failures: list[str] = []
+    checked = 0
+
+    for name, metrics in GATED_METRICS.items():
+        baseline = load(baseline_dir, name)
+        fresh = load(fresh_dir, name)
+        if baseline is None:
+            # No committed baseline yet: the first run establishes one.
+            print(f"BENCH_{name}.json: no baseline committed, skipping")
+            continue
+        if fresh is None:
+            failures.append(
+                f"BENCH_{name}.json: baseline exists but no fresh artifact was "
+                f"generated in {fresh_dir} — did the benchmark run?"
+            )
+            continue
+        for path, label in metrics:
+            old = dig(baseline, path)
+            new = dig(fresh, path)
+            if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+                failures.append(
+                    f"BENCH_{name}.json: metric {path!r} missing or non-numeric "
+                    f"(baseline={old!r}, fresh={new!r})"
+                )
+                continue
+            checked += 1
+            floor = old * (1.0 - args.threshold)
+            status = "ok" if new >= floor else "REGRESSION"
+            print(
+                f"{status:>10}  {label}: baseline {old:.3f} -> fresh {new:.3f} "
+                f"(floor {floor:.3f})"
+            )
+            if new < floor:
+                failures.append(
+                    f"{label} regressed: {old:.3f} -> {new:.3f} "
+                    f"(allowed floor {floor:.3f}, threshold {args.threshold:.0%})"
+                )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"all {checked} gated benchmark ratios within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ The package is organised as:
 * :mod:`repro.prompting`  — the canonical prompt templates;
 * :mod:`repro.core`       — the UniDM pipeline and task adapters;
 * :mod:`repro.flow`       — declarative table-level dataflow pipelines;
+* :mod:`repro.obs`        — metrics, request tracing and admission control;
 * :mod:`repro.transforms` — string transformation operators and program search;
 * :mod:`repro.datasets`   — synthetic counterparts of the paper's benchmarks;
 * :mod:`repro.baselines`  — the comparison systems (HoloClean, FM, Ditto, ...);

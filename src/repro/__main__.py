@@ -24,7 +24,15 @@ Commands
     flat v1 requests still accepted) and covers all seven task types.  With
     ``--cluster``, ``--workers N`` serving stacks shard the work by
     consistent hash with disjoint persistent-cache shards
-    (``--cluster-mode process`` spawns them as subprocesses).
+    (``--cluster-mode process`` spawns them as subprocesses).  With
+    ``--max-inflight`` / ``--max-queue-depth`` admission control sheds
+    excess load with structured ``overloaded`` errors, and
+    ``--stats-port N`` opens a side channel that answers one JSON metrics
+    snapshot per connection (readable even under overload).
+``stats``
+    Fetch and pretty-print the observability snapshot of a running service:
+    either through the main port (a ``{"type": "stats"}`` request over the
+    line protocol) or from a ``--stats-port`` side channel.
 """
 
 from __future__ import annotations
@@ -228,15 +236,28 @@ def _demo_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_frontend(handle_batch, served_count, args: argparse.Namespace) -> int:
-    """Run either front-end (TCP or stdin/stdout) over a batch handler."""
+def _serve_frontend(
+    handle_batch, served_count, args: argparse.Namespace, snapshot=None
+) -> int:
+    """Run either front-end (TCP or stdin/stdout) over a batch handler.
+
+    ``snapshot`` (a zero-argument callable returning the stats payload)
+    powers the ``--stats-port`` side channel: one JSON snapshot line per
+    connection, answered off the main request path.
+    """
     from .serving import serve_lines, start_line_server
 
+    stats_port = getattr(args, "stats_port", None)
     if args.port is not None:
         import asyncio
 
         async def _run() -> None:
             server = await start_line_server(handle_batch, args.host, args.port)
+            if stats_port is not None and snapshot is not None:
+                from .obs import start_stats_server
+
+                await start_stats_server(snapshot, args.host, stats_port)
+                print(f"stats on {args.host}:{stats_port}", file=sys.stderr)
             async with server:
                 await server.serve_forever()
 
@@ -245,7 +266,20 @@ def _serve_frontend(handle_batch, served_count, args: argparse.Namespace) -> int
             asyncio.run(_run())
         except KeyboardInterrupt:  # pragma: no cover - interactive
             pass
+        except OSError as exc:
+            print(f"cannot bind {args.host}: {exc}", file=sys.stderr)
+            return 1
         return 0
+    if stats_port is not None and snapshot is not None:
+        from .obs import serve_stats_in_thread
+
+        bound = serve_stats_in_thread(snapshot, args.host, stats_port)
+        if bound is None:
+            print(
+                f"cannot bind stats port {args.host}:{stats_port}", file=sys.stderr
+            )
+            return 1
+        print(f"stats on {args.host}:{bound}", file=sys.stderr)
     served = serve_lines(handle_batch, sys.stdin, sys.stdout)
     print(f"served {served_count() if served_count else served} requests", file=sys.stderr)
     return 0
@@ -262,6 +296,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 model=args.model,
                 cache_dir=args.cache_dir,
                 batch_size=args.batch_size,
+                max_inflight=args.max_inflight,
+                max_queue_depth=args.max_queue_depth,
             )
         else:
             router = Router.local(
@@ -270,13 +306,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 model=args.model,
                 cache_dir=args.cache_dir,
                 batch_size=args.batch_size,
+                max_inflight=args.max_inflight,
+                max_queue_depth=args.max_queue_depth,
             )
         print(
             f"cluster: {args.workers} {args.cluster_mode} workers", file=sys.stderr
         )
         try:
             return _serve_frontend(
-                router.handle_batch, lambda: router.requests_served, args
+                router.handle_batch,
+                lambda: router.requests_served,
+                args,
+                snapshot=router.stats_snapshot,
             )
         finally:
             router.close()
@@ -289,10 +330,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         batch_size=args.batch_size,
         workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_queue_depth=args.max_queue_depth,
     )
     return _serve_frontend(
-        service.handle_batch, lambda: service.requests_served, args
+        service.handle_batch,
+        lambda: service.requests_served,
+        args,
+        snapshot=service.stats_snapshot,
     )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    if args.stats_port is not None:
+        import socket
+
+        try:
+            with socket.create_connection(
+                (args.host, args.stats_port), timeout=args.timeout
+            ) as conn:
+                line = conn.makefile("r", encoding="utf-8").readline()
+        except OSError as exc:
+            print(
+                f"cannot reach stats port {args.host}:{args.stats_port}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            snapshot = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"stats port answered bad JSON: {exc}", file=sys.stderr)
+            return 1
+    else:
+        from .api import ApiError, Client
+
+        try:
+            snapshot = Client.remote(
+                args.host, args.port, timeout=args.timeout
+            ).stats(prefix=args.prefix)
+        except ApiError as exc:
+            # TransportError (unreachable) and structured error responses
+            # (e.g. an older service without the stats type) alike.
+            print(str(exc), file=sys.stderr)
+            return 1
+    print(json.dumps(snapshot, indent=2, ensure_ascii=False))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -321,8 +405,44 @@ def main(argv: list[str] | None = None) -> int:
     serve_parser.add_argument("--batch-size", type=_positive_int, default=8)
     serve_parser.add_argument("--workers", type=_positive_int, default=8)
     serve_parser.add_argument("--cache-dir", default=None)
+    serve_parser.add_argument(
+        "--stats-port",
+        type=int,
+        default=None,
+        help="side-channel port answering one JSON metrics snapshot per connection",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=None,
+        help="admission control: max requests executing at once",
+    )
+    serve_parser.add_argument(
+        "--max-queue-depth",
+        type=_positive_int,
+        default=None,
+        help="admission control: max requests waiting beyond --max-inflight "
+        "(excess is shed with an `overloaded` error)",
+    )
     _add_cluster_flags(serve_parser)
     serve_parser.set_defaults(fn=_cmd_serve)
+
+    stats_parser = subparsers.add_parser("stats")
+    stats_parser.add_argument("--host", default="127.0.0.1")
+    stats_parser.add_argument(
+        "--port", type=int, default=8765, help="main serving port (line protocol)"
+    )
+    stats_parser.add_argument(
+        "--stats-port",
+        type=int,
+        default=None,
+        help="read the serve --stats-port side channel instead of the main port",
+    )
+    stats_parser.add_argument(
+        "--prefix", default="", help="restrict metrics to this dotted name prefix"
+    )
+    stats_parser.add_argument("--timeout", type=float, default=10.0)
+    stats_parser.set_defaults(fn=_cmd_stats)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -30,6 +30,7 @@ from .errors import (
     ApiError,
     ErrorInfo,
     InvalidRequestError,
+    OverloadedError,
     ProtocolError,
     TaskFailedError,
     TransportError,
@@ -48,6 +49,7 @@ from .protocol import (
 )
 from .pipeline_spec import PipelineSpec
 from .results import TaskResult
+from .stats_spec import StatsSpec
 from .specs import (
     SPEC_TYPES,
     EntityResolutionSpec,
@@ -74,12 +76,14 @@ __all__ = [
     "ImputationSpec",
     "InvalidRequestError",
     "JoinDiscoverySpec",
+    "OverloadedError",
     "PROTOCOL_VERSION",
     "ParsedRequest",
     "PipelineSpec",
     "ProtocolError",
     "SPEC_TYPES",
     "SUPPORTED_VERSIONS",
+    "StatsSpec",
     "TableQASpec",
     "TaskFailedError",
     "TaskResult",

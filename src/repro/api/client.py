@@ -30,6 +30,7 @@ import json
 import time
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
+from ..obs.trace import Trace, new_trace_id
 from .errors import TransportError
 from .protocol import PROTOCOL_VERSION, decode_response, encode_request
 from .results import TaskResult
@@ -249,17 +250,28 @@ class Client:
         return cls(_ClusterBackend(router))
 
     # -------------------------------------------------------------- spec path
-    def submit(self, spec: TaskSpec) -> TaskResult:
-        """Execute one task spec; raise ``TaskFailedError`` on failure."""
-        return self.submit_many([spec])[0].unwrap()
+    def submit(self, spec: TaskSpec, *, priority: int = 0) -> TaskResult:
+        """Execute one task spec; raise on failure.
 
-    def submit_many(self, specs: Sequence[TaskSpec]) -> list[TaskResult]:
+        Raises ``OverloadedError`` (with ``retry_after``) when admission
+        control shed the request, ``TaskFailedError`` for any other error
+        response.
+        """
+        return self.submit_many([spec], priority=priority)[0].unwrap()
+
+    def submit_many(
+        self, specs: Sequence[TaskSpec], *, priority: int = 0
+    ) -> list[TaskResult]:
         """Execute a batch of specs; responses keep submission order.
 
         Failures never abort the batch — each failed item carries its
         structured error in ``result.error`` (``result.ok`` is False).
+        Every v2 envelope is stamped with a trace id (the active
+        :class:`~repro.obs.Trace` context's id, or a fresh one per request)
+        and, when nonzero, ``priority`` — honored at dequeue by admission-
+        controlled services.
         """
-        requests, ids = self._encode(specs)
+        requests, ids = self._encode(specs, priority=priority)
         if not requests:
             return []
         started = time.perf_counter()
@@ -267,15 +279,35 @@ class Client:
         elapsed = time.perf_counter() - started
         return self._decode(responses, ids, elapsed)
 
-    async def asubmit_many(self, specs: Sequence[TaskSpec]) -> list[TaskResult]:
+    async def asubmit_many(
+        self, specs: Sequence[TaskSpec], *, priority: int = 0
+    ) -> list[TaskResult]:
         """Async flavour of :meth:`submit_many` (same ordering/error rules)."""
-        requests, ids = self._encode(specs)
+        requests, ids = self._encode(specs, priority=priority)
         if not requests:
             return []
         started = time.perf_counter()
         responses = await self._backend.asend(requests)
         elapsed = time.perf_counter() - started
         return self._decode(responses, ids, elapsed)
+
+    def stats(self, prefix: str = "") -> Any:
+        """The serving front-end's observability snapshot.
+
+        Submits a :class:`~repro.api.stats_spec.StatsSpec` through the same
+        wire path as every other request, so local, remote and cluster
+        clients answer identically shaped snapshots: a ``metrics`` section
+        (counters / gauges / histogram percentiles of the
+        :class:`~repro.obs.MetricsRegistry`) plus a front-end section
+        (service totals, or the aggregated cluster stats).
+
+        Args:
+            prefix: Restrict the ``metrics`` section to names under this
+                dotted prefix (e.g. ``"batcher"``).
+        """
+        from .stats_spec import StatsSpec
+
+        return self.submit(StatsSpec(prefix=prefix)).answer
 
     # -------------------------------------------------------------- task path
     def run_task(self, task: "Task") -> "ManipulationResult":
@@ -323,7 +355,9 @@ class Client:
         self.close()
 
     # -------------------------------------------------------------- internals
-    def _encode(self, specs: Sequence[TaskSpec]) -> tuple[list[dict], list[int]]:
+    def _encode(
+        self, specs: Sequence[TaskSpec], priority: int = 0
+    ) -> tuple[list[dict], list[int]]:
         requests, ids = [], []
         for spec in specs:
             if not isinstance(spec, TaskSpec):
@@ -333,7 +367,15 @@ class Client:
                 )
             request_id = self._next_id
             self._next_id += 1
-            requests.append(encode_request(spec, request_id, PROTOCOL_VERSION))
+            requests.append(
+                encode_request(
+                    spec,
+                    request_id,
+                    PROTOCOL_VERSION,
+                    trace=Trace.current_id() or new_trace_id(),
+                    priority=priority,
+                )
+            )
             ids.append(request_id)
         return requests, ids
 

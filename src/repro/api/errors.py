@@ -23,11 +23,15 @@ class ErrorInfo:
     code: str
     message: str
     field: str | None = None
+    #: Back-off hint (seconds) carried by admission-control rejections.
+    retry_after: float | None = None
 
     def to_payload(self) -> dict[str, Any]:
         payload: dict[str, Any] = {"code": self.code, "message": self.message}
         if self.field is not None:
             payload["field"] = self.field
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
         return payload
 
     @classmethod
@@ -36,10 +40,12 @@ class ErrorInfo:
             return cls(code="error", message=payload)
         if not isinstance(payload, dict):
             return cls(code="error", message=str(payload))
+        retry_after = payload.get("retry_after")
         return cls(
             code=str(payload.get("code", "error")),
             message=str(payload.get("message", "")),
             field=payload.get("field"),
+            retry_after=float(retry_after) if retry_after is not None else None,
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -52,20 +58,38 @@ class ApiError(Exception):
 
     code = "error"
 
-    def __init__(self, message: str, *, field: str | None = None, code: str | None = None):
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: str | None = None,
+        code: str | None = None,
+        retry_after: float | None = None,
+    ):
         super().__init__(message)
         self.message = message
         self.field = field
+        self.retry_after = retry_after
         if code is not None:
             self.code = code
 
     @property
     def info(self) -> ErrorInfo:
-        return ErrorInfo(code=self.code, message=self.message, field=self.field)
+        return ErrorInfo(
+            code=self.code,
+            message=self.message,
+            field=self.field,
+            retry_after=self.retry_after,
+        )
 
     @classmethod
     def from_info(cls, info: ErrorInfo) -> "ApiError":
-        return cls(info.message, field=info.field, code=info.code)
+        return cls(
+            info.message,
+            field=info.field,
+            code=info.code,
+            retry_after=info.retry_after,
+        )
 
 
 class InvalidRequestError(ApiError, ValueError):
@@ -99,7 +123,23 @@ class TaskFailedError(ApiError):
 
     @classmethod
     def from_info(cls, info: ErrorInfo) -> "TaskFailedError":
-        return cls(info.message, field=info.field, code=info.code)
+        return cls(
+            info.message,
+            field=info.field,
+            code=info.code,
+            retry_after=info.retry_after,
+        )
+
+
+class OverloadedError(ApiError):
+    """Admission control shed the request; retry after ``retry_after`` s.
+
+    Raised client-side when a shed response surfaces through ``submit``;
+    service-side it is encoded directly as an ``overloaded`` error response
+    (see :class:`repro.obs.AdmissionController`).
+    """
+
+    code = "overloaded"
 
 
 #: Every ``error.code`` value a v2 response can carry, with the condition it
@@ -111,6 +151,7 @@ ERROR_CODES: dict[str, str] = {
     "protocol_error": "The envelope itself was malformed (bad `v`, missing `task` object).",
     "bad_json": "A request line never parsed as JSON (reported in position).",
     "pipeline_failed": "A `pipeline` request's plan failed mid-execution; the message names the stage.",
+    "overloaded": "Admission control shed the request (`max_inflight`/`max_queue_depth` exceeded); `retry_after` hints the back-off in seconds.",
     "task_failed": "Client-side marker for an error response surfaced through `submit`.",
     "transport_error": "Client-side: the service was unreachable or answered garbage.",
     "error": "Catch-all used when a v1 bare-string error is lifted into the structured shape.",

@@ -13,6 +13,19 @@ Two request generations coexist on the same newline-delimited JSON channel:
 A request without a ``"v"`` key is treated as v1, so every PR 1 client keeps
 working against the v2 service; the response generation always mirrors the
 request generation, so a v1 caller never sees a v2 shape.
+
+Two optional v2 envelope keys carry the observability layer:
+
+* ``"trace"`` — a trace id (see :mod:`repro.obs.trace`).  The client stamps
+  every outgoing request with one (the active :class:`~repro.obs.Trace`
+  context's id, or a fresh id per request); the service echoes it on the
+  response envelope so calls can be correlated end to end.
+* ``"priority"`` — an integer (default 0, higher first) honored at dequeue
+  when admitted batches contend for the engine (see
+  :class:`repro.obs.PriorityLock`).
+
+Both are ignored by v1 and by older v2 peers — unknown envelope keys have
+always been legal.
 """
 
 from __future__ import annotations
@@ -38,6 +51,10 @@ class ParsedRequest:
     spec: TaskSpec
     id: Any = None
     version: int = PROTOCOL_VERSION
+    #: Trace id carried on the v2 envelope (``None`` when absent / v1).
+    trace: str | None = None
+    #: Dequeue priority claimed by the v2 envelope (higher first).
+    priority: int = 0
 
 
 def request_version(payload: Any) -> int:
@@ -69,14 +86,31 @@ def parse_request(payload: Any) -> ParsedRequest:
         task = payload.get("task")
         if not isinstance(task, Mapping):
             raise ProtocolError("v2 requests must carry a 'task' object", field="task")
-        return ParsedRequest(spec=spec_from_request(task), id=request_id, version=version)
+        trace = payload.get("trace")
+        priority = payload.get("priority", 0)
+        return ParsedRequest(
+            spec=spec_from_request(task),
+            id=request_id,
+            version=version,
+            trace=str(trace) if trace is not None else None,
+            priority=int(priority) if isinstance(priority, (int, float)) else 0,
+        )
     return ParsedRequest(spec=spec_from_request(payload), id=request_id, version=1)
 
 
 def encode_request(
-    spec: TaskSpec, request_id: Any = None, version: int = PROTOCOL_VERSION
+    spec: TaskSpec,
+    request_id: Any = None,
+    version: int = PROTOCOL_VERSION,
+    *,
+    trace: str | None = None,
+    priority: int = 0,
 ) -> dict[str, Any]:
-    """Serialize a spec into a raw request object of the given generation."""
+    """Serialize a spec into a raw request object of the given generation.
+
+    ``trace`` defaults to the active :class:`~repro.obs.Trace` context's id
+    when one is bound (v2 only); ``priority`` is attached only when nonzero.
+    """
     if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(f"unsupported protocol version {version!r}", field="v")
     if version == 1:
@@ -84,13 +118,32 @@ def encode_request(
         if request_id is not None:
             payload = {"id": request_id, **payload}
         return payload
-    return {"v": version, "id": request_id, "task": spec.to_request()}
+    if trace is None:
+        from ..obs.trace import Trace
+
+        trace = Trace.current_id()
+    envelope: dict[str, Any] = {"v": version, "id": request_id, "task": spec.to_request()}
+    if trace is not None:
+        envelope["trace"] = trace
+    if priority:
+        envelope["priority"] = int(priority)
+    return envelope
 
 
-def encode_success(result: TaskResult, request_id: Any, version: int) -> dict[str, Any]:
+def encode_success(
+    result: TaskResult, request_id: Any, version: int, *, trace: str | None = None
+) -> dict[str, Any]:
     """Serialize a successful result in the caller's protocol generation."""
     if version >= 2:
-        return {"v": version, "id": request_id, "ok": True, "result": result.to_payload()}
+        envelope: dict[str, Any] = {
+            "v": version,
+            "id": request_id,
+            "ok": True,
+            "result": result.to_payload(),
+        }
+        if trace is not None:
+            envelope["trace"] = trace
+        return envelope
     return {
         "id": request_id,
         "ok": True,
@@ -101,10 +154,20 @@ def encode_success(result: TaskResult, request_id: Any, version: int) -> dict[st
     }
 
 
-def encode_error(error: ErrorInfo, request_id: Any, version: int) -> dict[str, Any]:
+def encode_error(
+    error: ErrorInfo, request_id: Any, version: int, *, trace: str | None = None
+) -> dict[str, Any]:
     """Serialize a failure in the caller's protocol generation."""
     if version >= 2:
-        return {"v": version, "id": request_id, "ok": False, "error": error.to_payload()}
+        envelope: dict[str, Any] = {
+            "v": version,
+            "id": request_id,
+            "ok": False,
+            "error": error.to_payload(),
+        }
+        if trace is not None:
+            envelope["trace"] = trace
+        return envelope
     return {"id": request_id, "ok": False, "error": error.message}
 
 
@@ -113,14 +176,19 @@ def decode_response(payload: Any) -> TaskResult:
     if not isinstance(payload, Mapping):
         raise ProtocolError("response must be a JSON object")
     request_id = payload.get("id")
+    trace = payload.get("trace")
+    trace_id = str(trace) if trace is not None else None
     if not payload.get("ok", False):
         return TaskResult(
             answer=None,
             id=request_id,
+            trace_id=trace_id,
             error=ErrorInfo.from_payload(payload.get("error", "unknown error")),
         )
     if "result" in payload:  # v2
-        return TaskResult.from_payload(payload["result"], request_id=request_id)
+        result = TaskResult.from_payload(payload["result"], request_id=request_id)
+        result.trace_id = trace_id
+        return result
     return TaskResult(  # v1 flat success
         answer=payload.get("answer"),
         raw=str(payload.get("raw", "")),

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping, TYPE_CHECKING
 
-from .errors import ErrorInfo, TaskFailedError
+from .errors import ErrorInfo, OverloadedError, TaskFailedError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.types import ManipulationResult, PromptTrace
@@ -34,14 +34,25 @@ class TaskResult:
     #: Structured failure; ``None`` on success.
     error: ErrorInfo | None = None
     id: Any = None
+    #: Trace id echoed on the response envelope (see :mod:`repro.obs.trace`).
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
     def unwrap(self) -> "TaskResult":
-        """Return self on success; raise :class:`TaskFailedError` on failure."""
+        """Return self on success; raise on failure.
+
+        Raises:
+            OverloadedError: When admission control shed the request
+                (``error.code == "overloaded"``; ``retry_after`` carries
+                the back-off hint).
+            TaskFailedError: For every other error response.
+        """
         if self.error is not None:
+            if self.error.code == OverloadedError.code:
+                raise OverloadedError.from_info(self.error)
             raise TaskFailedError.from_info(self.error)
         return self
 

@@ -55,6 +55,9 @@ from ..api.protocol import (
 )
 from ..api.results import TaskResult
 from ..api.specs import TaskSpec
+from ..api.stats_spec import StatsSpec
+from ..obs.admission import AdmissionController
+from ..obs.metrics import MetricsRegistry, get_default_registry
 from .hashing import HashRing, spec_key
 from .stats import ClusterStats, WorkerStats
 from .workers import ClusterError, SubprocessWorker, ThreadWorker, Worker, WorkerDeadError
@@ -93,6 +96,10 @@ class Router:
         *,
         replicas: int = 64,
         health_interval: float | None = 30.0,
+        max_inflight: int | None = None,
+        max_queue_depth: int | None = None,
+        retry_after: float = 0.05,
+        metrics: MetricsRegistry | None = None,
     ):
         if not workers:
             raise ValueError("a cluster needs at least one worker")
@@ -112,6 +119,20 @@ class Router:
         self._health_interval = health_interval
         self._last_health = time.monotonic()
         self._closed = False
+        self._metrics = metrics or get_default_registry()
+        self._m_routed = {
+            wid: self._metrics.counter(f"router.routed.{wid}") for wid in ids
+        }
+        self._m_requeued = self._metrics.counter("router.requeued")
+        self._m_deaths = self._metrics.counter("router.deaths")
+        self._m_inflight = self._metrics.gauge("router.inflight")
+        self.admission = AdmissionController(
+            max_inflight,
+            max_queue_depth,
+            retry_after=retry_after,
+            name="router.admission",
+            metrics=self._metrics,
+        )
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -129,6 +150,8 @@ class Router:
         llm_factory: "Any | None" = None,
         config: "UniDMConfig | None" = None,
         replicas: int = 64,
+        max_inflight: int | None = None,
+        max_queue_depth: int | None = None,
     ) -> "Router":
         """A router over ``n_workers`` in-process thread workers.
 
@@ -164,7 +187,12 @@ class Router:
             workers.append(
                 ThreadWorker(worker_id, service, queue_depth=queue_depth)
             )
-        return cls(workers, replicas=replicas)
+        return cls(
+            workers,
+            replicas=replicas,
+            max_inflight=max_inflight,
+            max_queue_depth=max_queue_depth,
+        )
 
     @classmethod
     def spawn(
@@ -178,6 +206,8 @@ class Router:
         engine_workers: int = 8,
         host: str = "127.0.0.1",
         replicas: int = 64,
+        max_inflight: int | None = None,
+        max_queue_depth: int | None = None,
     ) -> "Router":
         """A router over ``n_workers`` spawned ``repro serve`` subprocesses.
 
@@ -210,14 +240,25 @@ class Router:
             for worker in workers:
                 worker.close()
             raise
-        return cls(workers, replicas=replicas)
+        return cls(
+            workers,
+            replicas=replicas,
+            max_inflight=max_inflight,
+            max_queue_depth=max_queue_depth,
+        )
 
     # ----------------------------------------------------------------- routing
     def worker_for(self, spec: TaskSpec) -> str:
         """The live worker id owning ``spec`` (affinity diagnostic)."""
         return self._ring.node_for(spec_key(spec))
 
-    def submit_specs(self, specs: Sequence[TaskSpec]) -> list[TaskResult]:
+    def submit_specs(
+        self,
+        specs: Sequence[TaskSpec],
+        *,
+        priority: int = 0,
+        trace: str | None = None,
+    ) -> list[TaskResult]:
         """Execute specs across the cluster; results keep submission order.
 
         Specs are grouped by ring placement and the per-worker groups run
@@ -226,19 +267,57 @@ class Router:
         holding its cache.  Per-item failures come back embedded as
         ``result.error`` (like :meth:`repro.api.Client.submit_many`).
 
+        ``stats`` specs are answered from the router itself (aggregated
+        snapshot), before admission control.  When admission control is on
+        and the batch would exceed the pending bound, every spec of the
+        batch comes back with an ``overloaded`` error instead of queueing.
+        ``trace`` (one id for the batch) is forwarded on every worker-bound
+        envelope so the id survives the extra hop.
+
         Raises
         ------
         ClusterError
             When every worker has died.
         """
-        results = self._dispatch(specs)
+        from ..serving.service import overloaded_error
+
+        spec_list = list(specs)
+        results: list[TaskResult | None] = [None] * len(spec_list)
+        work: list[tuple[int, TaskSpec]] = []
+        for index, spec in enumerate(spec_list):
+            if isinstance(spec, StatsSpec):
+                results[index] = TaskResult(
+                    answer=self.stats_snapshot(spec.prefix), task_type="stats"
+                )
+            else:
+                work.append((index, spec))
+        if work:
+            if not self.admission.try_acquire(len(work)):
+                info = overloaded_error(self.admission)
+                for index, _ in work:
+                    results[index] = TaskResult(answer=None, error=info)
+            else:
+                try:
+                    answered = self._dispatch(
+                        [spec for _, spec in work], priority=priority, trace=trace
+                    )
+                finally:
+                    self.admission.release(len(work))
+                for (index, _), result in zip(work, answered):
+                    results[index] = result
         with self._lock:
             # Top-level requests only: the nested wave submissions a
             # pipeline plan makes through _dispatch do not inflate this.
-            self.requests_served += len(specs)
-        return results
+            self.requests_served += len(spec_list)
+        return [result for result in results if result is not None]
 
-    def _dispatch(self, specs: Sequence[TaskSpec]) -> list[TaskResult]:
+    def _dispatch(
+        self,
+        specs: Sequence[TaskSpec],
+        *,
+        priority: int = 0,
+        trace: str | None = None,
+    ) -> list[TaskResult]:
         if self._closed:
             raise ClusterError("router is closed")
         self._maybe_sweep()
@@ -251,48 +330,69 @@ class Router:
             else:
                 pending.append((index, spec))
 
-        rounds = 0
-        while pending:
-            rounds += 1
-            if rounds > len(self.workers) + 1:  # pragma: no cover - defensive
-                raise ClusterError("requeue loop exceeded the worker count")
-            groups: dict[str, list[tuple[int, TaskSpec]]] = {}
-            try:
-                for index, spec in pending:
-                    groups.setdefault(self.worker_for(spec), []).append((index, spec))
-            except LookupError as exc:
-                raise ClusterError(str(exc)) from exc
-            futures = {
-                worker_id: self._pool.submit(self._submit_group, worker_id, group)
-                for worker_id, group in groups.items()
-            }
-            pending = []
-            for worker_id, future in futures.items():
-                group = groups[worker_id]
+        inflight = self._m_inflight
+        n_tracked = len(pending)
+        inflight.inc(n_tracked)
+        try:
+            rounds = 0
+            while pending:
+                rounds += 1
+                if rounds > len(self.workers) + 1:  # pragma: no cover - defensive
+                    raise ClusterError("requeue loop exceeded the worker count")
+                groups: dict[str, list[tuple[int, TaskSpec]]] = {}
                 try:
-                    answered = future.result()
-                except (WorkerDeadError, ClusterError):
-                    self._mark_dead(worker_id)
-                    with self._lock:
-                        self._requeues += len(group)
-                    pending.extend(group)
-                    continue
-                for (index, _), result in zip(group, answered):
-                    results[index] = result
+                    for index, spec in pending:
+                        groups.setdefault(self.worker_for(spec), []).append(
+                            (index, spec)
+                        )
+                except LookupError as exc:
+                    raise ClusterError(str(exc)) from exc
+                futures = {
+                    worker_id: self._pool.submit(
+                        self._submit_group, worker_id, group, priority, trace
+                    )
+                    for worker_id, group in groups.items()
+                }
+                pending = []
+                for worker_id, future in futures.items():
+                    group = groups[worker_id]
+                    try:
+                        answered = future.result()
+                    except (WorkerDeadError, ClusterError):
+                        self._mark_dead(worker_id)
+                        with self._lock:
+                            self._requeues += len(group)
+                        self._m_requeued.inc(len(group))
+                        pending.extend(group)
+                        continue
+                    for (index, _), result in zip(group, answered):
+                        results[index] = result
+        finally:
+            inflight.dec(n_tracked)
 
         for index, spec in plans:
             results[index] = self._run_plan(spec)
         return [result for result in results if result is not None]
 
     def _submit_group(
-        self, worker_id: str, group: "list[tuple[int, TaskSpec]]"
+        self,
+        worker_id: str,
+        group: "list[tuple[int, TaskSpec]]",
+        priority: int = 0,
+        trace: str | None = None,
     ) -> list[TaskResult]:
         worker = self.workers[worker_id]
         requests = [
-            encode_request(spec, request_id=local_id, version=PROTOCOL_VERSION)
+            encode_request(
+                spec,
+                request_id=local_id,
+                version=PROTOCOL_VERSION,
+                trace=trace,
+                priority=priority,
+            )
             for local_id, (_, spec) in enumerate(group)
         ]
-        responses = worker.submit(requests)
+        responses = worker.submit(requests, priority=priority)
         if len(responses) != len(requests):
             raise WorkerDeadError(
                 f"worker {worker_id} answered {len(responses)} responses "
@@ -300,6 +400,7 @@ class Router:
             )
         with self._lock:
             self._routed[worker_id] += len(group)
+        self._m_routed[worker_id].inc(len(group))
         return [decode_response(response) for response in responses]
 
     def _run_plan(self, spec: PipelineSpec) -> TaskResult:
@@ -322,16 +423,23 @@ class Router:
         parsed_entries, responses = parse_batch(requests)
         if parsed_entries:
             specs = [parsed.spec for _, parsed in parsed_entries]
+            priority = max(parsed.priority for _, parsed in parsed_entries)
+            # Forward the batch's trace id to the workers when it is
+            # unambiguous (all requests under one Trace context — the
+            # common client batch); mixed-trace batches forward nothing.
+            traces = {parsed.trace for _, parsed in parsed_entries if parsed.trace}
+            batch_trace = traces.pop() if len(traces) == 1 else None
             for (position, parsed), result in zip(
-                parsed_entries, self.submit_specs(specs)
+                parsed_entries,
+                self.submit_specs(specs, priority=priority, trace=batch_trace),
             ):
                 if result.error is not None:
                     responses[position] = encode_error(
-                        result.error, parsed.id, parsed.version
+                        result.error, parsed.id, parsed.version, trace=parsed.trace
                     )
                 else:
                     responses[position] = encode_success(
-                        result, parsed.id, parsed.version
+                        result, parsed.id, parsed.version, trace=parsed.trace
                     )
         return [response for response in responses if response is not None]
 
@@ -359,12 +467,31 @@ class Router:
             if worker_id in self._ring:
                 self._ring.remove(worker_id)
                 self._deaths += 1
+                self._m_deaths.inc()
 
     @property
     def live_workers(self) -> set[str]:
         return self._ring.nodes
 
     # ------------------------------------------------------------------- stats
+    def stats_snapshot(self, prefix: str = "") -> dict:
+        """The observability snapshot a ``stats`` request answers with.
+
+        Combines the aggregated :class:`ClusterStats` rows with the metric
+        registry (batcher/engine/cache counters of every thread worker live
+        in the same process registry) and the admission-control state.
+        """
+        return {
+            "cluster": self.stats().to_payload(),
+            "admission": {
+                "max_inflight": self.admission.max_inflight,
+                "max_queue_depth": self.admission.max_queue_depth,
+                "pending": self.admission.pending,
+                "retry_after": self.admission.retry_after,
+            },
+            "metrics": self._metrics.snapshot(prefix),
+        }
+
     def stats(self) -> ClusterStats:
         """Aggregate a :class:`ClusterStats` snapshot across all workers."""
         rows: list[WorkerStats] = []

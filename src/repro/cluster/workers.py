@@ -22,6 +22,7 @@ killed or crashed — the router's requeue-on-death path keys off it.
 
 from __future__ import annotations
 
+import itertools
 import os
 import queue
 import socket
@@ -33,6 +34,7 @@ from concurrent.futures import Future
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from ..obs.metrics import MetricsRegistry, get_default_registry
 from .stats import WorkerStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -68,8 +70,11 @@ class Worker:
 
     worker_id: str
 
-    def submit(self, requests: "list[dict]") -> "list[dict]":
+    def submit(self, requests: "list[dict]", priority: int = 0) -> "list[dict]":
         """Answer one wire-request batch in order.
+
+        ``priority`` (higher first) is honored at dequeue when batches
+        contend for the worker; implementations may ignore it.
 
         Raises
         ------
@@ -117,13 +122,20 @@ class ThreadWorker(Worker):
         service: "ServingService",
         *,
         queue_depth: int = 32,
+        metrics: MetricsRegistry | None = None,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be positive")
         self.worker_id = worker_id
         self.service = service
         self.queue_depth = queue_depth
-        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        metrics = metrics or get_default_registry()
+        self._m_depth = metrics.gauge(f"worker.queue_depth.{worker_id}")
+        # Priority queue: entries sort by (-priority, arrival), so the
+        # highest-priority waiting batch dequeues first and FIFO order is
+        # preserved within a priority.  _STOP sorts after all real work.
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue(maxsize=queue_depth)
+        self._sequence = itertools.count()
         self._closed = False
         self._thread = threading.Thread(
             target=self._loop, name=f"repro-cluster-{worker_id}", daemon=True
@@ -133,7 +145,8 @@ class ThreadWorker(Worker):
     # ----------------------------------------------------------------- running
     def _loop(self) -> None:
         while True:
-            item = self._queue.get()
+            _, _, item = self._queue.get()
+            self._m_depth.set(self._queue.qsize())
             if item is _STOP:
                 return
             requests, future = item
@@ -144,12 +157,13 @@ class ThreadWorker(Worker):
             except BaseException as exc:  # surfaced to the submitting thread
                 future.set_exception(exc)
 
-    def submit(self, requests: "list[dict]") -> "list[dict]":
+    def submit(self, requests: "list[dict]", priority: int = 0) -> "list[dict]":
         if self._closed or not self._thread.is_alive():
             raise WorkerDeadError(f"worker {self.worker_id} is not accepting work")
         future: "Future[list[dict]]" = Future()
         # Blocks while queue_depth batches are already waiting: backpressure.
-        self._queue.put((requests, future))
+        self._queue.put((-priority, next(self._sequence), (requests, future)))
+        self._m_depth.set(self._queue.qsize())
         if self._closed:
             # close() raced the enqueue; the loop may never drain the item.
             future.cancel()
@@ -177,7 +191,8 @@ class ThreadWorker(Worker):
         if self._closed:
             return
         self._closed = True
-        self._queue.put(_STOP)
+        # Sorts after every admitted batch: pending work drains first.
+        self._queue.put((float("inf"), next(self._sequence), _STOP))
         self._thread.join(timeout=5.0)
 
 
@@ -270,7 +285,9 @@ class SubprocessWorker(Worker):
         raise ClusterError(f"worker {self.worker_id} never became reachable")
 
     # ----------------------------------------------------------------- running
-    def submit(self, requests: "list[dict]") -> "list[dict]":
+    def submit(self, requests: "list[dict]", priority: int = 0) -> "list[dict]":
+        # ``priority`` already travels inside each request envelope; the
+        # child's own PriorityLock honors it at dequeue.
         from ..api.client import _RemoteBackend
         from ..api.errors import TransportError
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 from ..datalake.table import Table
+from ..obs.metrics import MetricsRegistry, SIZE_BUCKETS, get_default_registry
 from .operators import FlowError, Operator, Partition
 from .planner import Planner, WavePlan, independent_waves
 
@@ -145,11 +146,23 @@ class FlowResult:
 class FlowExecutor:
     """Runs a pipeline over a table through a spec-submitting backend."""
 
-    def __init__(self, submit: SpecRunner, *, batch_size: int = 64):
+    def __init__(
+        self,
+        submit: SpecRunner,
+        *,
+        batch_size: int = 64,
+        metrics: MetricsRegistry | None = None,
+    ):
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         self.submit = submit
         self.batch_size = batch_size
+        metrics = metrics or get_default_registry()
+        self._m_waves = metrics.counter("flow.waves")
+        self._m_wave_specs = metrics.histogram("flow.wave_specs", SIZE_BUCKETS)
+        self._m_specs = metrics.counter("flow.specs")
+        self._m_submitted = metrics.counter("flow.submitted")
+        self._m_reused = metrics.counter("flow.reused")
 
     # ------------------------------------------------------------------ running
     def run(self, pipeline: "Pipeline", table: Table) -> FlowResult:
@@ -203,6 +216,10 @@ class FlowExecutor:
                 report.stages[index].partitions += 1
                 continue
             plan = planner.plan_wave(wave, part)
+            self._m_waves.inc()
+            self._m_wave_specs.observe(
+                sum(len(stage_plan.items) for stage_plan in plan.plans)
+            )
             self._submit_new(plan, planner, report)
             for stage_plan in plan.plans:
                 metrics = report.stages[stage_plan.index]
@@ -212,6 +229,9 @@ class FlowExecutor:
                 metrics.partitions += 1
                 report.specs += len(stage_plan.items)
                 report.submitted += stage_plan.fresh
+                self._m_specs.inc(len(stage_plan.items))
+                self._m_submitted.inc(stage_plan.fresh)
+                self._m_reused.inc(len(stage_plan.items) - stage_plan.fresh)
                 values = [planner.answer(key) for key in stage_plan.keys]
                 part = stage_plan.operator.apply(
                     part, list(zip(stage_plan.items, values)), answers

@@ -20,6 +20,7 @@ import threading
 from collections import OrderedDict
 from typing import Protocol, Sequence, runtime_checkable
 
+from ..obs.metrics import MetricsRegistry, get_default_registry
 from .base import Completion, LanguageModel
 
 
@@ -45,6 +46,7 @@ class CachedLLM(LanguageModel):
         inner: LanguageModel,
         max_entries: int = 10_000,
         persistent: CacheBackend | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         super().__init__(tokenizer=inner.tokenizer)
         if max_entries < 1:
@@ -53,6 +55,14 @@ class CachedLLM(LanguageModel):
         self.max_entries = max_entries
         self.persistent = persistent
         self.name = f"cached({inner.name})"
+        metrics = metrics or get_default_registry()
+        # Metric handles resolved once: lookups are the hottest path in the
+        # stack, so they must not take the registry lock per observation.
+        self._m_hits = metrics.counter("cache.hits")
+        self._m_misses = metrics.counter("cache.misses")
+        self._m_persistent_hits = metrics.counter("cache.persistent_hits")
+        self._m_bytes_served = metrics.counter("cache.bytes_served")
+        self._m_bytes_stored = metrics.counter("cache.bytes_stored")
         self.hits = 0
         self.misses = 0
         self.persistent_hits = 0
@@ -66,20 +76,29 @@ class CachedLLM(LanguageModel):
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ lookup
+    def _note_hit(self, text: str, persistent: bool = False) -> None:
+        self.hits += 1
+        self._m_hits.inc()
+        self._m_bytes_served.inc(len(text))
+        if persistent:
+            self.persistent_hits += 1
+            self._m_persistent_hits.inc()
+
     def _lookup(self, prompt: str) -> str | None:
         """Memory then persistent lookup; updates hit/miss counters."""
         if prompt in self._cache:
-            self.hits += 1
             self._cache.move_to_end(prompt)
-            return self._cache[prompt]
+            text = self._cache[prompt]
+            self._note_hit(text)
+            return text
         if self.persistent is not None:
             text = self.persistent.get(prompt)
             if text is not None:
-                self.hits += 1
-                self.persistent_hits += 1
+                self._note_hit(text, persistent=True)
                 self._remember(prompt, text)
                 return text
         self.misses += 1
+        self._m_misses.inc()
         return None
 
     def _remember(self, prompt: str, text: str) -> None:
@@ -90,6 +109,7 @@ class CachedLLM(LanguageModel):
 
     def _store(self, prompt: str, text: str) -> None:
         self._remember(prompt, text)
+        self._m_bytes_stored.inc(len(text))
         if self.persistent is not None:
             self.persistent.put(prompt, text)
 
@@ -132,6 +152,7 @@ class CachedLLM(LanguageModel):
                     # Served by the in-flight miss ahead of it in this batch —
                     # sequentially this occurrence would have been a hit.
                     self.hits += 1
+                    self._m_hits.inc()
                     texts.append(None)
                     continue
                 text = self._lookup(prompt)

@@ -1,0 +1,55 @@
+"""Observability layer: metrics, request tracing and admission control.
+
+The serving stack (engine → batcher → cache → router) grew fast; this
+package is the measurement layer that keeps it honest.  Three pieces:
+
+* :mod:`repro.obs.metrics` — a dependency-free metrics core: thread-safe
+  :class:`Counter`, :class:`Gauge` and fixed-bucket latency
+  :class:`Histogram` objects behind a :class:`MetricsRegistry` whose
+  ``snapshot()`` is plain JSON (counters, gauges, histogram percentiles).
+  Every hot path of the stack is instrumented against the process-default
+  registry, so one snapshot describes the whole serving process.
+* :mod:`repro.obs.trace` — the :class:`Trace` context: every request gets a
+  trace id that travels inside the v2 wire envelope (``"trace"`` key) and is
+  echoed on the response, so a request can be followed client → service →
+  logs without any shared infrastructure.
+* :mod:`repro.obs.admission` — load shedding: an
+  :class:`AdmissionController` bounds in-flight and queued requests and
+  rejects the excess with a structured ``overloaded`` protocol error
+  (retry-after hint) instead of queueing unboundedly, plus a
+  :class:`PriorityLock` so higher-priority batches dequeue first.
+
+Snapshots are exposed end-to-end: the ``stats`` wire type
+(:class:`repro.api.stats_spec.StatsSpec`), :meth:`repro.api.Client.stats`,
+``python -m repro stats`` and ``serve --stats-port``.  See
+``docs/observability.md`` for the metric name catalogue.
+"""
+
+from .admission import (
+    AdmissionController,
+    PriorityLock,
+    serve_stats_in_thread,
+    start_stats_server,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_default_registry,
+)
+from .trace import Trace, new_trace_id
+
+__all__ = [
+    "AdmissionController",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PriorityLock",
+    "Trace",
+    "get_default_registry",
+    "new_trace_id",
+    "serve_stats_in_thread",
+    "start_stats_server",
+]

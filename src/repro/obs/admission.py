@@ -1,0 +1,243 @@
+"""Admission control: bounded pending work, shed the rest, priorities first.
+
+Unbounded queueing turns overload into latency collapse — every request
+eventually times out instead of a few failing fast.  The serving service and
+the cluster router instead run every JSON batch through an
+:class:`AdmissionController`: a hard bound on *pending* requests (executing
+plus queued).  A batch that would exceed the bound is rejected immediately
+with a structured ``overloaded`` error carrying a retry-after hint, so
+clients back off instead of piling on.
+
+Capacity is the sum of the two knobs — ``max_inflight`` (requests the
+executor should run at once) and ``max_queue_depth`` (requests allowed to
+wait beyond that).  Leaving both ``None`` disables shedding entirely (the
+pre-observability behaviour).
+
+:class:`PriorityLock` is the companion dequeue policy: when several batches
+are admitted and waiting for the engine, the highest-priority one (v2
+envelope key ``"priority"``, higher first; FIFO within a priority) acquires
+next — so load shedding never has to drop urgent work to protect itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import json
+import threading
+from typing import Any, Callable, Iterator
+from contextlib import contextmanager
+
+from .metrics import MetricsRegistry, get_default_registry
+
+
+class AdmissionController:
+    """Bounds pending requests; sheds the excess instead of queueing it.
+
+    Parameters
+    ----------
+    max_inflight:
+        Requests the executor is expected to run concurrently.
+    max_queue_depth:
+        Requests allowed to wait beyond ``max_inflight``.
+    retry_after:
+        Back-off hint (seconds) attached to shed responses.
+    name:
+        Metric prefix (``<name>.admitted`` / ``<name>.shed`` counters and a
+        ``<name>.pending`` gauge).
+    """
+
+    def __init__(
+        self,
+        max_inflight: int | None = None,
+        max_queue_depth: int | None = None,
+        *,
+        retry_after: float = 0.05,
+        name: str = "admission",
+        metrics: MetricsRegistry | None = None,
+    ):
+        for label, knob in (
+            ("max_inflight", max_inflight),
+            ("max_queue_depth", max_queue_depth),
+        ):
+            if knob is not None and knob < 0:
+                raise ValueError(f"{label} must be non-negative")
+        if retry_after < 0:
+            raise ValueError("retry_after must be non-negative")
+        self.max_inflight = max_inflight
+        self.max_queue_depth = max_queue_depth
+        self.retry_after = retry_after
+        self.name = name
+        metrics = metrics or get_default_registry()
+        self._m_admitted = metrics.counter(f"{name}.admitted")
+        self._m_shed = metrics.counter(f"{name}.shed")
+        self._m_pending = metrics.gauge(f"{name}.pending")
+        self._pending = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int | None:
+        """Total pending requests allowed; ``None`` means unbounded."""
+        if self.max_inflight is None and self.max_queue_depth is None:
+            return None
+        return (self.max_inflight or 0) + (self.max_queue_depth or 0)
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    # ------------------------------------------------------------ life-cycle
+    def try_acquire(self, n: int = 1) -> bool:
+        """Reserve capacity for ``n`` requests; False means shed them.
+
+        A batch larger than the whole capacity is still admitted when
+        nothing is pending — otherwise it could never run and every retry
+        would shed forever.  The bound is on *concurrent* pending work, not
+        on single-batch size.
+        """
+        capacity = self.capacity
+        with self._lock:
+            if (
+                capacity is not None
+                and self._pending > 0
+                and self._pending + n > capacity
+            ):
+                self._m_shed.inc(n)
+                return False
+            self._pending += n
+        self._m_admitted.inc(n)
+        self._m_pending.inc(n)
+        return True
+
+    def release(self, n: int = 1) -> None:
+        """Return capacity once the ``n`` admitted requests finished."""
+        with self._lock:
+            self._pending = max(0, self._pending - n)
+        self._m_pending.dec(n)
+
+    @contextmanager
+    def admitted(self, n: int = 1) -> Iterator[bool]:
+        """``with`` form: yields whether the work was admitted."""
+        ok = self.try_acquire(n)
+        try:
+            yield ok
+        finally:
+            if ok:
+                self.release(n)
+
+
+class PriorityLock:
+    """A mutex whose waiters acquire in (priority desc, arrival asc) order.
+
+    Drop-in stricter replacement for ``threading.Lock`` in code that wants
+    urgent batches served first under contention: ``acquire(priority=5)``
+    jumps ahead of every waiting ``priority=0`` caller but never preempts the
+    current holder.  Also usable as a context manager (priority 0).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._locked = False
+        self._waiting: list[tuple[int, int]] = []  # heap of (-priority, seq)
+        self._sequence = itertools.count()
+
+    def acquire(self, priority: int = 0) -> None:
+        with self._cond:
+            ticket = (-priority, next(self._sequence))
+            heapq.heappush(self._waiting, ticket)
+            while self._locked or self._waiting[0] != ticket:
+                self._cond.wait()
+            heapq.heappop(self._waiting)
+            self._locked = True
+
+    def release(self) -> None:
+        with self._cond:
+            if not self._locked:
+                raise RuntimeError("release of an unheld PriorityLock")
+            self._locked = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def hold(self, priority: int = 0) -> Iterator[None]:
+        self.acquire(priority)
+        try:
+            yield
+        finally:
+            self.release()
+
+    def __enter__(self) -> "PriorityLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+# --------------------------------------------------------------- stats server
+async def start_stats_server(
+    snapshot_fn: Callable[[], dict], host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """A one-shot TCP endpoint: connect, receive one JSON snapshot line, done.
+
+    This is the ``serve --stats-port`` side channel: it never touches the
+    engine or the batch lock, so stats stay readable while the main port is
+    saturated (which is exactly when you want them).
+    """
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            payload = snapshot_fn()
+        except Exception as exc:  # never kill the endpoint over one snapshot
+            payload = {"error": str(exc)}
+        try:
+            writer.write((json.dumps(payload, ensure_ascii=False) + "\n").encode())
+            await writer.drain()
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)
+
+
+def serve_stats_in_thread(
+    snapshot_fn: Callable[[], dict], host: str = "127.0.0.1", port: int = 0
+) -> int | None:
+    """Run :func:`start_stats_server` on a daemon thread; returns the port.
+
+    Used when the main front-end owns the foreground (stdin serving) or its
+    own event loop cannot be shared.  Returns ``None`` when the server
+    failed to come up within five seconds.
+    """
+    started = threading.Event()
+    bound: dict[str, int] = {}
+
+    def run() -> None:
+        async def main() -> None:
+            server = await start_stats_server(snapshot_fn, host, port)
+            sockets = server.sockets or []
+            if sockets:
+                bound["port"] = sockets[0].getsockname()[1]
+            started.set()
+            async with server:
+                await server.serve_forever()
+
+        try:
+            asyncio.run(main())
+        except Exception:
+            started.set()
+
+    thread = threading.Thread(target=run, daemon=True, name="repro-stats")
+    thread.start()
+    started.wait(5.0)
+    return bound.get("port")
+
+
+__all__ = [
+    "AdmissionController",
+    "PriorityLock",
+    "serve_stats_in_thread",
+    "start_stats_server",
+]

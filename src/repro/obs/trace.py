@@ -1,0 +1,80 @@
+"""Request tracing: one id per request, carried in the v2 wire envelope.
+
+A trace id is a 16-hex-char random token.  The client stamps every outgoing
+v2 request with one (``"trace"`` envelope key) — either a fresh id per
+request, or the id of the active :class:`Trace` context so a whole batch
+(or a whole flow-pipeline run) correlates under one id.  The service and the
+cluster router echo the id on the response envelope, so any log line or
+metric tagged with it can be joined back to the originating call without
+shared infrastructure.
+
+Usage::
+
+    from repro.obs import Trace
+
+    with Trace.start() as trace:            # one id for everything inside
+        client.submit_many(specs)           # every envelope carries trace.trace_id
+
+    result.trace_id                         # echoed back on each response
+
+The context is a :class:`contextvars.ContextVar`, so it propagates through
+``asyncio`` tasks automatically and stays isolated between threads.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import secrets
+from dataclasses import dataclass, field
+from typing import Iterator
+from contextlib import contextmanager
+
+_current_trace: contextvars.ContextVar["Trace | None"] = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit random trace id (16 hex chars)."""
+    return secrets.token_hex(8)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One tracing context: the id plus optional baggage."""
+
+    trace_id: str = field(default_factory=new_trace_id)
+
+    @classmethod
+    def current(cls) -> "Trace | None":
+        """The active trace context of this thread/task, if any."""
+        return _current_trace.get()
+
+    @classmethod
+    def current_id(cls) -> str | None:
+        """The active trace id, or ``None`` outside any trace context."""
+        trace = _current_trace.get()
+        return trace.trace_id if trace is not None else None
+
+    @classmethod
+    @contextmanager
+    def start(cls, trace_id: str | None = None) -> Iterator["Trace"]:
+        """Bind a trace context for the ``with`` block (nestable)."""
+        trace = cls(trace_id) if trace_id is not None else cls()
+        token = _current_trace.set(trace)
+        try:
+            yield trace
+        finally:
+            _current_trace.reset(token)
+
+    @contextmanager
+    def bind(self) -> Iterator["Trace"]:
+        """Re-bind an existing trace (e.g. one parsed off the wire)."""
+        token = _current_trace.set(self)
+        try:
+            yield self
+        finally:
+            _current_trace.reset(token)
+
+
+__all__ = ["Trace", "new_trace_id"]

@@ -23,11 +23,15 @@ backend, just as the engine's worker semaphore bounds in-flight tasks.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from functools import partial
 
+from typing import Any
+
 from ..llm.base import Completion, LanguageModel
+from ..obs.metrics import MetricsRegistry, SIZE_BUCKETS, get_default_registry
 
 
 @dataclass
@@ -35,6 +39,8 @@ class _Request:
     prompt: str
     kind: str
     future: asyncio.Future
+    #: ``perf_counter`` at submission; queue wait is measured at dispatch.
+    enqueued: float = 0.0
 
 
 @dataclass
@@ -70,6 +76,7 @@ class MicroBatcher:
         max_batch_size: int = 8,
         max_wait: float = 0.002,
         executor: Executor | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
@@ -79,6 +86,19 @@ class MicroBatcher:
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
         self.stats = BatcherStats()
+        # Metric handles resolved once (the registry lock must stay off the
+        # per-submission path); per-kind latency histograms resolve lazily.
+        metrics = metrics or get_default_registry()
+        self._metrics = metrics
+        self._m_requests = metrics.counter("batcher.requests")
+        self._m_batches = metrics.counter("batcher.batches")
+        self._m_flush = {
+            reason: metrics.counter(f"batcher.flush.{reason}")
+            for reason in ("size", "idle", "timeout")
+        }
+        self._m_batch_size = metrics.histogram("batcher.batch_size", SIZE_BUCKETS)
+        self._m_queue_wait = metrics.histogram("batcher.queue_wait")
+        self._m_llm_latency: dict[str, Any] = {}
         self._executor = executor
         self._pending: dict[str, list[_Request]] = {}
         self._generation = 0
@@ -88,12 +108,13 @@ class MicroBatcher:
     async def submit(self, prompt: str, kind: str = "other") -> Completion:
         """Enqueue one prompt and await its completion."""
         loop = asyncio.get_running_loop()
-        request = _Request(prompt, kind, loop.create_future())
+        request = _Request(prompt, kind, loop.create_future(), time.perf_counter())
         queue = self._pending.setdefault(kind, [])
         queue.append(request)
         self._generation += 1
+        self._m_requests.inc()
         if len(queue) >= self.max_batch_size:
-            self._flush_kind(loop, kind)
+            self._flush_kind(loop, kind, reason="size")
         else:
             self._arm(loop)
         return await request.future
@@ -115,16 +136,18 @@ class MicroBatcher:
         if phase == 0:
             loop.call_soon(self._idle_check, loop, generation, 1)
         else:
-            self._flush_all(loop)
+            self._flush_all(loop, reason="idle")
 
     # ----------------------------------------------------------------- flushing
-    def _flush_all(self, loop: asyncio.AbstractEventLoop) -> None:
+    def _flush_all(self, loop: asyncio.AbstractEventLoop, reason: str = "timeout") -> None:
         self._cancel_timer()
         for kind in list(self._pending):
             while self._pending.get(kind):
-                self._flush_kind(loop, kind)
+                self._flush_kind(loop, kind, reason=reason)
 
-    def _flush_kind(self, loop: asyncio.AbstractEventLoop, kind: str) -> None:
+    def _flush_kind(
+        self, loop: asyncio.AbstractEventLoop, kind: str, reason: str = "size"
+    ) -> None:
         queue = self._pending.get(kind, [])
         batch, rest = queue[: self.max_batch_size], queue[self.max_batch_size :]
         if rest:
@@ -135,6 +158,12 @@ class MicroBatcher:
                 self._cancel_timer()
         if batch:
             self.stats.note(kind, len(batch))
+            self._m_batches.inc()
+            self._m_flush[reason].inc()
+            self._m_batch_size.observe(len(batch))
+            now = time.perf_counter()
+            for request in batch:
+                self._m_queue_wait.observe(now - request.enqueued)
             loop.create_task(self._execute(loop, kind, batch))
 
     def _cancel_timer(self) -> None:
@@ -146,10 +175,16 @@ class MicroBatcher:
         self, loop: asyncio.AbstractEventLoop, kind: str, batch: list[_Request]
     ) -> None:
         prompts = [request.prompt for request in batch]
+        started = time.perf_counter()
         try:
             completions = await loop.run_in_executor(
                 self._executor, partial(self.llm.complete_batch, prompts, kind)
             )
+            latency = self._m_llm_latency.get(kind)
+            if latency is None:
+                latency = self._metrics.histogram(f"batcher.llm_latency.{kind}")
+                self._m_llm_latency[kind] = latency
+            latency.observe(time.perf_counter() - started)
         except Exception as exc:  # propagate to every waiter of this batch
             for request in batch:
                 if not request.future.done():

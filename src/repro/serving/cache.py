@@ -26,6 +26,8 @@ import os
 import threading
 from pathlib import Path
 
+from ..obs.metrics import MetricsRegistry, get_default_registry
+
 
 def prompt_key(prompt: str) -> str:
     """Stable content key for a prompt (SHA-256 hex digest)."""
@@ -43,15 +45,26 @@ class PersistentCache:
         Number of shard files keys are spread over.
     """
 
-    def __init__(self, path: str | os.PathLike, shards: int = 16):
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        shards: int = 16,
+        metrics: MetricsRegistry | None = None,
+    ):
         if shards < 1:
             raise ValueError("shards must be positive")
         self.path = Path(path)
         self.shards = shards
         self.path.mkdir(parents=True, exist_ok=True)
+        metrics = metrics or get_default_registry()
+        self._m_puts = metrics.counter("pcache.puts")
+        self._m_bytes = metrics.counter("pcache.bytes_written")
+        # Per-directory gauge: cluster shards each report their own size.
+        self._m_entries = metrics.gauge(f"pcache.entries.{self.path.name}")
         self._lock = threading.Lock()
         self._entries: dict[str, str] = {}
         self._load()
+        self._m_entries.set(len(self._entries))
 
     # -------------------------------------------------------------------- io
     def _shard_file(self, key: str) -> Path:
@@ -90,6 +103,9 @@ class PersistentCache:
                 return  # already durable; skip the duplicate append
             self._entries[key] = text
             self._append(key, text)
+            self._m_puts.inc()
+            self._m_bytes.inc(len(text))
+            self._m_entries.set(len(self._entries))
 
     # ---------------------------------------------------------- maintenance
     def __len__(self) -> int:

@@ -25,6 +25,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable
 
+from ..obs.metrics import MetricsRegistry, get_default_registry
 from .batcher import BatcherStats, MicroBatcher
 from .stages import OrderedGate, execute_task
 
@@ -78,9 +79,14 @@ class EngineReport:
 class ExecutionEngine:
     """Executes iterables of tasks through a UniDM pipeline, micro-batched."""
 
-    def __init__(self, config: EngineConfig | None = None):
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.config = config or EngineConfig()
         self.last_report = EngineReport()
+        self._metrics = metrics or get_default_registry()
 
     @classmethod
     def sequential(cls) -> "ExecutionEngine":
@@ -124,13 +130,34 @@ class ExecutionEngine:
             max_batch_size=config.max_batch_size,
             max_wait=config.max_wait,
             executor=executor,
+            metrics=self._metrics,
         )
         gate = OrderedGate() if config.ordered_retrieval else _OpenGate()
         semaphore = asyncio.Semaphore(config.workers)
+        inflight = self._metrics.gauge("engine.inflight")
+        per_kind: dict[str, tuple] = {}  # kind -> (tasks counter, latency hist)
+
+        def kind_metrics(kind: str) -> tuple:
+            handles = per_kind.get(kind)
+            if handles is None:
+                handles = (
+                    self._metrics.counter(f"engine.tasks.{kind}"),
+                    self._metrics.histogram(f"engine.task_latency.{kind}"),
+                )
+                per_kind[kind] = handles
+            return handles
 
         async def bounded(index: int, task: "Task") -> "ManipulationResult":
             async with semaphore:
-                return await execute_task(pipeline, task, index, batcher, gate)
+                tasks_counter, latency = kind_metrics(task.task_type.name.lower())
+                inflight.inc()
+                started = time.perf_counter()
+                try:
+                    return await execute_task(pipeline, task, index, batcher, gate)
+                finally:
+                    inflight.dec()
+                    tasks_counter.inc()
+                    latency.observe(time.perf_counter() - started)
 
         try:
             results = await asyncio.gather(

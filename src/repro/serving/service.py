@@ -35,6 +35,7 @@ import asyncio
 import json
 import sys
 import threading
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, IO, Iterable, Sequence
@@ -44,6 +45,7 @@ from ..api.pipeline_spec import PipelineSpec
 from ..api.protocol import ParsedRequest, encode_error, encode_success, parse_request
 from ..api.results import TaskResult
 from ..api.specs import TaskSpec, spec_from_request
+from ..api.stats_spec import StatsSpec
 from ..core.config import UniDMConfig
 from ..core.pipeline import UniDM
 from ..core.tasks.base import Task
@@ -51,6 +53,8 @@ from ..core.types import ManipulationResult
 from ..llm.base import LanguageModel
 from ..llm.cache import CachedLLM
 from ..llm.simulated import SimulatedLLM
+from ..obs.admission import AdmissionController, PriorityLock
+from ..obs.metrics import MetricsRegistry, get_default_registry
 from .cache import PersistentCache
 from .engine import EngineConfig, ExecutionEngine
 
@@ -85,16 +89,47 @@ def build_task(request: dict) -> Task:
 
 
 class ServingService:
-    """Answers JSON task requests through the execution engine."""
+    """Answers JSON task requests through the execution engine.
 
-    def __init__(self, pipeline: UniDM, engine: ExecutionEngine | None = None):
+    Admission control (off by default): with ``max_inflight`` /
+    ``max_queue_depth`` set, a batch that would push pending requests past
+    their sum is shed immediately with a structured ``overloaded`` error
+    carrying a ``retry_after`` hint, instead of queueing unboundedly.
+    Admitted batches contending for the engine dequeue highest-priority
+    first (v2 envelope key ``"priority"``).  ``stats`` requests are answered
+    before admission and outside the batch lock, so observability survives
+    overload.
+    """
+
+    def __init__(
+        self,
+        pipeline: UniDM,
+        engine: ExecutionEngine | None = None,
+        *,
+        max_inflight: int | None = None,
+        max_queue_depth: int | None = None,
+        retry_after: float = 0.05,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.pipeline = pipeline
-        self.engine = engine or ExecutionEngine()
+        self._metrics = metrics or get_default_registry()
+        self._m_requests = self._metrics.counter("service.requests")
+        self._m_batch_latency = self._metrics.histogram("service.batch_latency")
+        self.engine = engine or ExecutionEngine(metrics=self._metrics)
         self.requests_served = 0
+        self.admission = AdmissionController(
+            max_inflight,
+            max_queue_depth,
+            retry_after=retry_after,
+            name="service.admission",
+            metrics=self._metrics,
+        )
         # One batch at a time: the pipeline's rng and the engine's report are
         # shared state, so concurrent TCP connections take turns here (their
-        # requests still micro-batch *within* each flush).
-        self._batch_lock = threading.Lock()
+        # requests still micro-batch *within* each flush).  Under contention
+        # the highest-priority waiting batch acquires first.
+        self._batch_lock = PriorityLock()
+        self._served_lock = threading.Lock()
 
     def run_tasks(self, tasks: Iterable[Task]) -> list[ManipulationResult]:
         """Run pipeline tasks directly through the engine (in-process path).
@@ -102,22 +137,56 @@ class ServingService:
         This is what ``Client.local(...).run_tasks`` and the evaluation
         harness use; it shares the batch lock with the JSON request path so a
         service embedded in a bigger process stays internally consistent.
+        (Admission control applies to the JSON request path only.)
         """
         with self._batch_lock:
             return self.pipeline.run_many(list(tasks), engine=self.engine)
 
     def handle_batch(self, requests: Iterable[dict]) -> list[dict]:
         """Execute a batch of request objects; responses keep request order."""
-        with self._batch_lock:
-            return self._handle_batch_locked(list(requests))
+        request_list = list(requests)
+        parsed_entries, responses = parse_batch(request_list)
+        work: list[tuple[int, ParsedRequest]] = []
+        for position, parsed in parsed_entries:
+            if isinstance(parsed.spec, StatsSpec):
+                snapshot = TaskResult(
+                    answer=self.stats_snapshot(parsed.spec.prefix), task_type="stats"
+                )
+                responses[position] = encode_success(
+                    snapshot, parsed.id, parsed.version, trace=parsed.trace
+                )
+            else:
+                work.append((position, parsed))
+        if work:
+            if not self.admission.try_acquire(len(work)):
+                info = overloaded_error(self.admission)
+                for position, parsed in work:
+                    responses[position] = encode_error(
+                        info, parsed.id, parsed.version, trace=parsed.trace
+                    )
+            else:
+                priority = max(parsed.priority for _, parsed in work)
+                try:
+                    with self._batch_lock.hold(priority):
+                        self._handle_parsed_locked(work, responses)
+                finally:
+                    self.admission.release(len(work))
+        with self._served_lock:
+            self.requests_served += len(request_list)
+        self._m_requests.inc(len(request_list))
+        return [response for response in responses if response is not None]
 
-    def _handle_batch_locked(self, requests: list) -> list[dict]:
+    def _handle_parsed_locked(
+        self,
+        parsed_entries: "list[tuple[int, ParsedRequest]]",
+        responses: "list[dict | None]",
+    ) -> None:
+        """Execute already-parsed requests, filling ``responses`` in place."""
         tasks: list[Task] = []
-        #: (request position, request id, protocol version) per queued task.
-        slots: list[tuple[int, Any, int]] = []
+        #: (request position, parsed request) per queued task.
+        slots: list[tuple[int, ParsedRequest]] = []
         #: Pipeline (plan-level) requests, answered after the task batch.
         plans: list[tuple[int, ParsedRequest]] = []
-        parsed_entries, responses = parse_batch(requests)
         for position, parsed in parsed_entries:
             if isinstance(parsed.spec, PipelineSpec):
                 plans.append((position, parsed))
@@ -128,18 +197,38 @@ class ServingService:
                 info = exc.info if isinstance(exc, ApiError) else ErrorInfo(
                     code="invalid_request", message=str(exc)
                 )
-                responses[position] = encode_error(info, parsed.id, parsed.version)
+                responses[position] = encode_error(
+                    info, parsed.id, parsed.version, trace=parsed.trace
+                )
                 continue
-            slots.append((position, parsed.id, parsed.version))
+            slots.append((position, parsed))
         if tasks:
+            started = time.perf_counter()
             results = self.pipeline.run_many(tasks, engine=self.engine)
-            for (position, request_id, version), result in zip(slots, results):
-                payload = TaskResult.from_manipulation(result, request_id=request_id)
-                responses[position] = encode_success(payload, request_id, version)
+            self._m_batch_latency.observe(time.perf_counter() - started)
+            for (position, parsed), result in zip(slots, results):
+                payload = TaskResult.from_manipulation(result, request_id=parsed.id)
+                responses[position] = encode_success(
+                    payload, parsed.id, parsed.version, trace=parsed.trace
+                )
         for position, parsed in plans:
             responses[position] = self._run_plan_locked(parsed)
-        self.requests_served += len(requests)
-        return [response for response in responses if response is not None]
+
+    # ------------------------------------------------------------------- stats
+    def stats_snapshot(self, prefix: str = "") -> dict:
+        """The observability snapshot a ``stats`` request answers with."""
+        return {
+            "service": {
+                "requests_served": self.requests_served,
+                "admission": {
+                    "max_inflight": self.admission.max_inflight,
+                    "max_queue_depth": self.admission.max_queue_depth,
+                    "pending": self.admission.pending,
+                    "retry_after": self.admission.retry_after,
+                },
+            },
+            "metrics": self._metrics.snapshot(prefix),
+        }
 
     def _run_specs_locked(self, specs: "Sequence[TaskSpec]") -> list[TaskResult]:
         """Execute already-validated specs through the engine (lock held).
@@ -158,8 +247,10 @@ class ServingService:
         result = run_pipeline_spec(parsed.spec, self._run_specs_locked)
         result.id = parsed.id
         if result.error is not None:
-            return encode_error(result.error, parsed.id, parsed.version)
-        return encode_success(result, parsed.id, parsed.version)
+            return encode_error(
+                result.error, parsed.id, parsed.version, trace=parsed.trace
+            )
+        return encode_success(result, parsed.id, parsed.version, trace=parsed.trace)
 
     def handle_request(self, request: dict) -> dict:
         return self.handle_batch([request])[0]
@@ -339,6 +430,19 @@ def run_pipeline_spec(spec: PipelineSpec, submit: "Callable") -> TaskResult:
     )
 
 
+def overloaded_error(admission: AdmissionController) -> ErrorInfo:
+    """The structured shed response of an admission-control rejection."""
+    capacity = admission.capacity
+    return ErrorInfo(
+        code="overloaded",
+        message=(
+            f"admission control shed this request: {admission.pending} pending "
+            f"of {capacity} allowed; retry after {admission.retry_after:g}s"
+        ),
+        retry_after=admission.retry_after,
+    )
+
+
 def claimed_version(request: Any) -> int:
     """Best-effort protocol generation of a failed request (for its response)."""
     if isinstance(request, dict) and isinstance(request.get("v"), int) and request["v"] >= 2:
@@ -358,6 +462,8 @@ def build_service(
     workers: int = 8,
     knowledge=None,
     llm: LanguageModel | None = None,
+    max_inflight: int | None = None,
+    max_queue_depth: int | None = None,
 ) -> ServingService:
     """Assemble the default serving stack: simulated LLM → cache → engine."""
     if llm is None:
@@ -366,7 +472,12 @@ def build_service(
     cached = CachedLLM(llm, persistent=persistent)
     pipeline = UniDM(cached, UniDMConfig.full(seed=seed))
     engine = ExecutionEngine(EngineConfig(max_batch_size=batch_size, workers=workers))
-    return ServingService(pipeline, engine)
+    return ServingService(
+        pipeline,
+        engine,
+        max_inflight=max_inflight,
+        max_queue_depth=max_queue_depth,
+    )
 
 
 def main_stdin(service: ServingService) -> int:  # pragma: no cover - thin wrapper

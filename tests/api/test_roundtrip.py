@@ -21,6 +21,7 @@ from repro.api import (
     JoinDiscoverySpec,
     PipelineSpec,
     SPEC_TYPES,
+    StatsSpec,
     TableQASpec,
     TransformationSpec,
     encode_request,
@@ -147,6 +148,13 @@ def pipeline_specs(draw):
     )
 
 
+def stats_specs():
+    return st.builds(
+        StatsSpec,
+        prefix=st.text(string.ascii_lowercase + ".", max_size=12),
+    )
+
+
 ALL_SPEC_STRATEGIES = [
     imputation_specs(),
     transformation_specs(),
@@ -156,6 +164,7 @@ ALL_SPEC_STRATEGIES = [
     error_detection_specs(),
     join_discovery_specs(),
     pipeline_specs(),
+    stats_specs(),
 ]
 
 
@@ -167,6 +176,11 @@ def _assert_round_trip(spec):
     if isinstance(spec, PipelineSpec):
         # A pipeline materialises a flow plan rather than a single task.
         assert rebuilt.to_pipeline().to_payload() == spec.to_pipeline().to_payload()
+        return
+    if isinstance(spec, StatsSpec):
+        # A stats request is answered by the front-end, never materialised.
+        with pytest.raises(ValueError):
+            rebuilt.to_task()
         return
     # The rebuilt spec materialises an equivalent pipeline task.
     original_task, rebuilt_task = spec.to_task(), rebuilt.to_task()

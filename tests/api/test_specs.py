@@ -46,6 +46,8 @@ def test_registry_covers_all_seven_task_types_plus_pipeline():
         "join_discovery",
         # The plan-level request type of repro.flow rides the same registry.
         "pipeline",
+        # The observability snapshot request of repro.obs does too.
+        "stats",
     }
     for spec_cls in SPEC_TYPES.values():
         assert issubclass(spec_cls, TaskSpec)
