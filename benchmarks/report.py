@@ -48,3 +48,16 @@ def load_bench(name: str, directory: Path | None = None) -> dict[str, Any]:
     """Read one BENCH artifact back (from ``directory`` or the default)."""
     path = (directory or bench_dir()) / f"BENCH_{name}.json"
     return json.loads(path.read_text(encoding="utf-8"))
+
+
+def reset_default_metrics() -> None:
+    """Zero the process-default metrics registry between benchmark phases.
+
+    Benchmarks in one pytest process share the default registry; phases that
+    read counters (hit rates, batch sizes) must not see the previous phase's
+    traffic.  Zeroing in place keeps the metric handles components cached at
+    construction time valid.
+    """
+    from repro.obs import get_default_registry
+
+    get_default_registry().reset()

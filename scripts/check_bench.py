@@ -32,6 +32,7 @@ import sys
 from pathlib import Path
 
 #: Gated metrics: artifact name -> list of (dotted key path, human label).
+#: Higher is better; the fresh value must stay above the baseline's floor.
 GATED_METRICS: dict[str, list[tuple[str, str]]] = {
     "cluster": [("speedup", "4-worker cluster speedup")],
     "flow": [
@@ -40,6 +41,19 @@ GATED_METRICS: dict[str, list[tuple[str, str]]] = {
     ],
     "serving": [("speedup", "warm-cache engine speedup vs cold sequential")],
     "batching": [("round_trip_reduction", "micro-batching round-trip reduction")],
+}
+
+#: Capped metrics: artifact name -> list of (dotted key path, label, cap).
+#: Lower is better; the *fresh* value must stay at or below the absolute cap
+#: regardless of the committed baseline (a budget, not a regression ratio).
+CAPPED_METRICS: dict[str, list[tuple[str, str, float]]] = {
+    "obs": [
+        (
+            "overhead_ratio",
+            "span+event instrumentation overhead (traced / untraced)",
+            1.10,
+        )
+    ],
 }
 
 
@@ -117,6 +131,34 @@ def main(argv: list[str] | None = None) -> int:
                 failures.append(
                     f"{label} regressed: {old:.3f} -> {new:.3f} "
                     f"(allowed floor {floor:.3f}, threshold {args.threshold:.0%})"
+                )
+
+    for name, metrics in CAPPED_METRICS.items():
+        fresh = load(fresh_dir, name)
+        if fresh is None:
+            if load(baseline_dir, name) is None:
+                # Neither committed nor generated: the gate is not armed yet.
+                print(f"BENCH_{name}.json: no baseline committed, skipping")
+                continue
+            failures.append(
+                f"BENCH_{name}.json: baseline exists but no fresh artifact was "
+                f"generated in {fresh_dir} — did the benchmark run?"
+            )
+            continue
+        for path, label, cap in metrics:
+            new = dig(fresh, path)
+            if not isinstance(new, (int, float)):
+                failures.append(
+                    f"BENCH_{name}.json: metric {path!r} missing or non-numeric "
+                    f"(fresh={new!r})"
+                )
+                continue
+            checked += 1
+            status = "ok" if new <= cap else "OVER BUDGET"
+            print(f"{status:>10}  {label}: fresh {new:.3f} (cap {cap:.3f})")
+            if new > cap:
+                failures.append(
+                    f"{label} over budget: {new:.3f} exceeds cap {cap:.3f}"
                 )
 
     for failure in failures:

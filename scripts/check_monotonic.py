@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Lint: forbid wall-clock timing in span/metric instrumentation paths.
+
+Span offsets only line up across processes because every span start/end comes
+from ``time.monotonic()`` (Linux ``CLOCK_MONOTONIC`` is system-wide per
+boot).  A stray ``time.time()`` in the observability layer would silently
+skew waterfalls whenever NTP steps the wall clock, so CI greps it out.
+
+Usage::
+
+    python scripts/check_monotonic.py [PATH ...]
+
+Defaults to ``src/repro/obs``.  Exits 1 listing every offending
+``file:line``; lines carrying a ``# wall-clock ok`` marker are exempt (for
+genuinely wall-clock needs such as timestamping artifacts).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+FORBIDDEN = re.compile(r"\btime\.time\(")
+EXEMPT_MARKER = "# wall-clock ok"
+DEFAULT_PATHS = ["src/repro/obs"]
+
+
+def scan(paths: list[str]) -> list[str]:
+    offenders: list[str] = []
+    for root in paths:
+        root_path = Path(root)
+        files = [root_path] if root_path.is_file() else sorted(root_path.rglob("*.py"))
+        for file_path in files:
+            for number, line in enumerate(
+                file_path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if FORBIDDEN.search(line) and EXEMPT_MARKER not in line:
+                    offenders.append(f"{file_path}:{number}: {line.strip()}")
+    return offenders
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:]) or DEFAULT_PATHS
+    offenders = scan(paths)
+    for offender in offenders:
+        print(f"FAIL: wall-clock timing in instrumentation path: {offender}")
+    if offenders:
+        print(
+            "use time.monotonic() (span timing) or time.perf_counter() "
+            "(latency metrics) instead of time.time()",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"no time.time() in {', '.join(paths)}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,14 @@ Commands
 ``stats``
     Fetch and pretty-print the observability snapshot of a running service:
     either through the main port (a ``{"type": "stats"}`` request over the
-    line protocol) or from a ``--stats-port`` side channel.
+    line protocol) or from a ``--stats-port`` side channel.  With
+    ``--format prom`` the snapshot is rendered as Prometheus text-format
+    exposition (fetched as ``GET /metrics`` when a ``--stats-port`` is
+    given); ``--reset`` zeroes the counters after the snapshot.
+``trace``
+    Reconstruct the span waterfall of one trace from a structured event log
+    (``--events`` file, default ``$REPRO_EVENTS_FILE``): per-span offsets,
+    durations, tree nesting and the critical path.
 """
 
 from __future__ import annotations
@@ -286,6 +293,12 @@ def _serve_frontend(
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.events_file is not None:
+        from .obs import configure_default_event_log
+
+        # export_env makes spawned subprocess workers (cluster --cluster-mode
+        # process) inherit the sink, so one file collects the whole tree.
+        configure_default_event_log(path=args.events_file, export_env=True)
     if args.cluster:
         from .cluster import Router
 
@@ -341,13 +354,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _fetch_stats_port_metrics(args: argparse.Namespace) -> str | None:
+    """``GET /metrics`` against the stats side channel; returns the body."""
+    import socket
+
+    with socket.create_connection(
+        (args.host, args.stats_port), timeout=args.timeout
+    ) as conn:
+        conn.sendall(
+            f"GET /metrics HTTP/1.0\r\nHost: {args.host}\r\n\r\n".encode("ascii")
+        )
+        raw = b""
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    if not head.startswith(b"HTTP/"):
+        return None
+    return body.decode("utf-8")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
     if args.stats_port is not None:
-        import socket
-
         try:
+            if args.format == "prom":
+                body = _fetch_stats_port_metrics(args)
+                if body is None:
+                    print("stats port did not speak HTTP", file=sys.stderr)
+                    return 1
+                print(body, end="")
+                return 0
+            import socket
+
             with socket.create_connection(
                 (args.host, args.stats_port), timeout=args.timeout
             ) as conn:
@@ -369,13 +411,44 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         try:
             snapshot = Client.remote(
                 args.host, args.port, timeout=args.timeout
-            ).stats(prefix=args.prefix)
+            ).stats(prefix=args.prefix, reset=args.reset)
         except ApiError as exc:
             # TransportError (unreachable) and structured error responses
             # (e.g. an older service without the stats type) alike.
             print(str(exc), file=sys.stderr)
             return 1
+    if args.format == "prom":
+        from .obs import render_prometheus
+
+        print(
+            render_prometheus(
+                snapshot.get("metrics", {}), exemplars=snapshot.get("exemplars")
+            ),
+            end="",
+        )
+        return 0
     print(json.dumps(snapshot, indent=2, ensure_ascii=False))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from .obs import get_default_event_log, render_waterfall
+    from .obs.events import read_events
+
+    path = args.events or os.environ.get("REPRO_EVENTS_FILE")
+    if path:
+        try:
+            events = read_events(path)
+        except OSError as exc:
+            print(f"cannot read event log {path}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        # No file sink configured: fall back to this process's in-memory ring
+        # (useful from tests and interactive sessions, not across processes).
+        events = get_default_event_log().events()
+    print(render_waterfall(events, args.trace_id))
     return 0
 
 
@@ -424,6 +497,12 @@ def main(argv: list[str] | None = None) -> int:
         help="admission control: max requests waiting beyond --max-inflight "
         "(excess is shed with an `overloaded` error)",
     )
+    serve_parser.add_argument(
+        "--events-file",
+        default=None,
+        help="append structured span/shed/death events to this JSONL file "
+        "(subprocess cluster workers inherit it via REPRO_EVENTS_FILE)",
+    )
     _add_cluster_flags(serve_parser)
     serve_parser.set_defaults(fn=_cmd_serve)
 
@@ -442,7 +521,29 @@ def main(argv: list[str] | None = None) -> int:
         "--prefix", default="", help="restrict metrics to this dotted name prefix"
     )
     stats_parser.add_argument("--timeout", type=float, default=10.0)
+    stats_parser.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="output format: pretty JSON or Prometheus text exposition",
+    )
+    stats_parser.add_argument(
+        "--reset",
+        action="store_true",
+        help="zero the service's metrics after taking the snapshot "
+        "(main-port mode only)",
+    )
     stats_parser.set_defaults(fn=_cmd_stats)
+
+    trace_parser = subparsers.add_parser("trace")
+    trace_parser.add_argument("trace_id", help="trace id to reconstruct")
+    trace_parser.add_argument(
+        "--events",
+        default=None,
+        help="event-log JSONL file (default: $REPRO_EVENTS_FILE, else the "
+        "in-process ring buffer)",
+    )
+    trace_parser.set_defaults(fn=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -30,6 +30,8 @@ import json
 import time
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
+from ..obs.events import get_default_event_log
+from ..obs.span import span
 from ..obs.trace import Trace, new_trace_id
 from .errors import TransportError
 from .protocol import PROTOCOL_VERSION, decode_response, encode_request
@@ -53,6 +55,7 @@ class Client:
     def __init__(self, backend: "_Backend"):
         self._backend = backend
         self._next_id = 0
+        self._last_trace: str | None = None
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -269,29 +272,55 @@ class Client:
         Every v2 envelope is stamped with a trace id (the active
         :class:`~repro.obs.Trace` context's id, or a fresh one per request)
         and, when nonzero, ``priority`` — honored at dequeue by admission-
-        controlled services.
+        controlled services.  The whole call is timed under a
+        ``client.submit`` span; inside a :class:`~repro.obs.Trace` context
+        it becomes the root of the request's distributed span tree.
         """
-        requests, ids = self._encode(specs, priority=priority)
-        if not requests:
-            return []
-        started = time.perf_counter()
-        responses = self._backend.send(requests)
-        elapsed = time.perf_counter() - started
-        return self._decode(responses, ids, elapsed)
+        with span("client.submit", specs=len(specs)):
+            requests, ids = self._encode(specs, priority=priority)
+            if not requests:
+                return []
+            self._last_trace = requests[0].get("trace")
+            started = time.perf_counter()
+            responses = self._backend.send(requests)
+            elapsed = time.perf_counter() - started
+            return self._decode(responses, ids, elapsed)
 
     async def asubmit_many(
         self, specs: Sequence[TaskSpec], *, priority: int = 0
     ) -> list[TaskResult]:
         """Async flavour of :meth:`submit_many` (same ordering/error rules)."""
-        requests, ids = self._encode(specs, priority=priority)
-        if not requests:
-            return []
-        started = time.perf_counter()
-        responses = await self._backend.asend(requests)
-        elapsed = time.perf_counter() - started
-        return self._decode(responses, ids, elapsed)
+        with span("client.submit", specs=len(specs)):
+            requests, ids = self._encode(specs, priority=priority)
+            if not requests:
+                return []
+            self._last_trace = requests[0].get("trace")
+            started = time.perf_counter()
+            responses = await self._backend.asend(requests)
+            elapsed = time.perf_counter() - started
+            return self._decode(responses, ids, elapsed)
 
-    def stats(self, prefix: str = "") -> Any:
+    def last_trace(self) -> str | None:
+        """Trace id stamped on the most recent submission (or ``None``)."""
+        return self._last_trace
+
+    def events(
+        self, trace: str | None = None, *, kind: str | None = None
+    ) -> list[dict]:
+        """Buffered events of the process-default event log.
+
+        Args:
+            trace: Restrict to one trace id; defaults to :meth:`last_trace`
+                (pass ``""`` for every trace).
+            kind: Restrict to one event kind (e.g. ``"span"``).
+        """
+        if trace is None:
+            trace = self._last_trace
+        if trace == "":
+            trace = None
+        return get_default_event_log().events(trace=trace, kind=kind)
+
+    def stats(self, prefix: str = "", *, reset: bool = False) -> Any:
         """The serving front-end's observability snapshot.
 
         Submits a :class:`~repro.api.stats_spec.StatsSpec` through the same
@@ -304,10 +333,13 @@ class Client:
         Args:
             prefix: Restrict the ``metrics`` section to names under this
                 dotted prefix (e.g. ``"batcher"``).
+            reset: Zero every metric (in place) after the snapshot, so the
+                next one describes only what happened since — benchmark
+                isolation without snapshot subtraction.
         """
         from .stats_spec import StatsSpec
 
-        return self.submit(StatsSpec(prefix=prefix)).answer
+        return self.submit(StatsSpec(prefix=prefix, reset=reset)).answer
 
     # -------------------------------------------------------------- task path
     def run_task(self, task: "Task") -> "ManipulationResult":

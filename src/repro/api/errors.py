@@ -13,7 +13,7 @@ request validation keep working unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Mapping
 
 
 @dataclass(frozen=True)
@@ -25,6 +25,9 @@ class ErrorInfo:
     field: str | None = None
     #: Back-off hint (seconds) carried by admission-control rejections.
     retry_after: float | None = None
+    #: Optional structured context (e.g. `overloaded` carries the shedding
+    #: controller's `queue_depth` / `inflight` / `capacity` at shed time).
+    details: Mapping[str, Any] | None = None
 
     def to_payload(self) -> dict[str, Any]:
         payload: dict[str, Any] = {"code": self.code, "message": self.message}
@@ -32,6 +35,8 @@ class ErrorInfo:
             payload["field"] = self.field
         if self.retry_after is not None:
             payload["retry_after"] = self.retry_after
+        if self.details is not None:
+            payload["details"] = dict(self.details)
         return payload
 
     @classmethod
@@ -41,11 +46,13 @@ class ErrorInfo:
         if not isinstance(payload, dict):
             return cls(code="error", message=str(payload))
         retry_after = payload.get("retry_after")
+        details = payload.get("details")
         return cls(
             code=str(payload.get("code", "error")),
             message=str(payload.get("message", "")),
             field=payload.get("field"),
             retry_after=float(retry_after) if retry_after is not None else None,
+            details=dict(details) if isinstance(details, dict) else None,
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -65,11 +72,13 @@ class ApiError(Exception):
         field: str | None = None,
         code: str | None = None,
         retry_after: float | None = None,
+        details: Mapping[str, Any] | None = None,
     ):
         super().__init__(message)
         self.message = message
         self.field = field
         self.retry_after = retry_after
+        self.details = dict(details) if details is not None else None
         if code is not None:
             self.code = code
 
@@ -80,6 +89,7 @@ class ApiError(Exception):
             message=self.message,
             field=self.field,
             retry_after=self.retry_after,
+            details=self.details,
         )
 
     @classmethod
@@ -89,6 +99,7 @@ class ApiError(Exception):
             field=info.field,
             code=info.code,
             retry_after=info.retry_after,
+            details=info.details,
         )
 
 
@@ -128,6 +139,7 @@ class TaskFailedError(ApiError):
             field=info.field,
             code=info.code,
             retry_after=info.retry_after,
+            details=info.details,
         )
 
 
@@ -151,7 +163,7 @@ ERROR_CODES: dict[str, str] = {
     "protocol_error": "The envelope itself was malformed (bad `v`, missing `task` object).",
     "bad_json": "A request line never parsed as JSON (reported in position).",
     "pipeline_failed": "A `pipeline` request's plan failed mid-execution; the message names the stage.",
-    "overloaded": "Admission control shed the request (`max_inflight`/`max_queue_depth` exceeded); `retry_after` hints the back-off in seconds.",
+    "overloaded": "Admission control shed the request (`max_inflight`/`max_queue_depth` exceeded); `retry_after` hints the back-off in seconds and `details` carries the controller state at shed time (`queue_depth`, `inflight`, `pending`, `capacity`).",
     "task_failed": "Client-side marker for an error response surfaced through `submit`.",
     "transport_error": "Client-side: the service was unreachable or answered garbage.",
     "error": "Catch-all used when a v1 bare-string error is lifted into the structured shape.",

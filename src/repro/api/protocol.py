@@ -14,18 +14,22 @@ A request without a ``"v"`` key is treated as v1, so every PR 1 client keeps
 working against the v2 service; the response generation always mirrors the
 request generation, so a v1 caller never sees a v2 shape.
 
-Two optional v2 envelope keys carry the observability layer:
+Three optional v2 envelope keys carry the observability layer:
 
 * ``"trace"`` — a trace id (see :mod:`repro.obs.trace`).  The client stamps
   every outgoing request with one (the active :class:`~repro.obs.Trace`
   context's id, or a fresh id per request); the service echoes it on the
   response envelope so calls can be correlated end to end.
+* ``"span"`` — the caller's span id (see :mod:`repro.obs.span`).  The
+  receiving hop uses it as the parent of its own server-side span, so a
+  cluster request (client → router → subprocess worker) reassembles into
+  one causal tree in the event log.
 * ``"priority"`` — an integer (default 0, higher first) honored at dequeue
   when admitted batches contend for the engine (see
   :class:`repro.obs.PriorityLock`).
 
-Both are ignored by v1 and by older v2 peers — unknown envelope keys have
-always been legal.
+All three are ignored by v1 and by older v2 peers — unknown envelope keys
+have always been legal.
 """
 
 from __future__ import annotations
@@ -55,6 +59,8 @@ class ParsedRequest:
     trace: str | None = None
     #: Dequeue priority claimed by the v2 envelope (higher first).
     priority: int = 0
+    #: Caller's span id on the v2 envelope — parent of this hop's span.
+    span: str | None = None
 
 
 def request_version(payload: Any) -> int:
@@ -88,12 +94,14 @@ def parse_request(payload: Any) -> ParsedRequest:
             raise ProtocolError("v2 requests must carry a 'task' object", field="task")
         trace = payload.get("trace")
         priority = payload.get("priority", 0)
+        span = payload.get("span")
         return ParsedRequest(
             spec=spec_from_request(task),
             id=request_id,
             version=version,
             trace=str(trace) if trace is not None else None,
             priority=int(priority) if isinstance(priority, (int, float)) else 0,
+            span=str(span) if span is not None else None,
         )
     return ParsedRequest(spec=spec_from_request(payload), id=request_id, version=1)
 
@@ -105,11 +113,13 @@ def encode_request(
     *,
     trace: str | None = None,
     priority: int = 0,
+    span: str | None = None,
 ) -> dict[str, Any]:
     """Serialize a spec into a raw request object of the given generation.
 
     ``trace`` defaults to the active :class:`~repro.obs.Trace` context's id
-    when one is bound (v2 only); ``priority`` is attached only when nonzero.
+    and ``span`` to the active :class:`~repro.obs.span.Span`'s id when one
+    is bound (v2 only); ``priority`` is attached only when nonzero.
     """
     if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(f"unsupported protocol version {version!r}", field="v")
@@ -122,9 +132,21 @@ def encode_request(
         from ..obs.trace import Trace
 
         trace = Trace.current_id()
+    if span is None:
+        from ..obs.span import Span
+
+        current_span = Span.current()
+        # Only parent under the context span when it belongs to the same
+        # trace as this envelope: without a bound Trace every request gets a
+        # fresh trace id, and stitching those under one client span would
+        # cross-link unrelated traces.
+        if current_span is not None and current_span.trace_id == trace:
+            span = current_span.span_id
     envelope: dict[str, Any] = {"v": version, "id": request_id, "task": spec.to_request()}
     if trace is not None:
         envelope["trace"] = trace
+    if span is not None:
+        envelope["span"] = span
     if priority:
         envelope["priority"] = int(priority)
     return envelope

@@ -38,11 +38,20 @@ class StatsSpec(TaskSpec):
     #: Restrict the snapshot to metric names under this dotted prefix.
     prefix: str = ""
 
+    #: Zero every metric (in place) after taking the snapshot, so the next
+    #: snapshot describes only what happened since — benchmark isolation.
+    reset: bool = False
+
     def validate(self) -> None:
         if not isinstance(self.prefix, str):
             raise InvalidRequestError(
                 "'prefix' must be a string of a dotted metric-name prefix",
                 field="prefix",
+            )
+        if not isinstance(self.reset, bool):
+            raise InvalidRequestError(
+                "'reset' must be a boolean",
+                field="reset",
             )
 
     def to_task(self):

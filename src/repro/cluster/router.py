@@ -57,7 +57,10 @@ from ..api.results import TaskResult
 from ..api.specs import TaskSpec
 from ..api.stats_spec import StatsSpec
 from ..obs.admission import AdmissionController
+from ..obs.events import emit_event
+from ..obs.export import get_default_exemplars
 from ..obs.metrics import MetricsRegistry, get_default_registry
+from ..obs.span import Span, remote_span, span
 from .hashing import HashRing, spec_key
 from .stats import ClusterStats, WorkerStats
 from .workers import ClusterError, SubprocessWorker, ThreadWorker, Worker, WorkerDeadError
@@ -258,6 +261,7 @@ class Router:
         *,
         priority: int = 0,
         trace: str | None = None,
+        span_parent: str | None = None,
     ) -> list[TaskResult]:
         """Execute specs across the cluster; results keep submission order.
 
@@ -272,7 +276,9 @@ class Router:
         and the batch would exceed the pending bound, every spec of the
         batch comes back with an ``overloaded`` error instead of queueing.
         ``trace`` (one id for the batch) is forwarded on every worker-bound
-        envelope so the id survives the extra hop.
+        envelope so the id survives the extra hop; ``span_parent`` (the
+        caller's span id) parents the router's ``router.submit`` span so the
+        hop joins the caller's span tree.
 
         Raises
         ------
@@ -287,20 +293,34 @@ class Router:
         for index, spec in enumerate(spec_list):
             if isinstance(spec, StatsSpec):
                 results[index] = TaskResult(
-                    answer=self.stats_snapshot(spec.prefix), task_type="stats"
+                    answer=self.stats_snapshot(spec.prefix, reset=spec.reset),
+                    task_type="stats",
                 )
             else:
                 work.append((index, spec))
         if work:
             if not self.admission.try_acquire(len(work)):
                 info = overloaded_error(self.admission)
+                emit_event(
+                    "admission.shed",
+                    trace=trace,
+                    name=self.admission.name,
+                    requests=len(work),
+                    **(info.details or {}),
+                )
                 for index, _ in work:
                     results[index] = TaskResult(answer=None, error=info)
             else:
                 try:
-                    answered = self._dispatch(
-                        [spec for _, spec in work], priority=priority, trace=trace
-                    )
+                    with remote_span(
+                        "router.submit",
+                        trace_id=trace,
+                        parent_id=span_parent,
+                        specs=len(work),
+                    ):
+                        answered = self._dispatch(
+                            [spec for _, spec in work], priority=priority, trace=trace
+                        )
                 finally:
                     self.admission.release(len(work))
                 for (index, _), result in zip(work, answered):
@@ -333,6 +353,10 @@ class Router:
         inflight = self._m_inflight
         n_tracked = len(pending)
         inflight.inc(n_tracked)
+        # Pool threads get no contextvars; capture the caller's span (the
+        # router.submit span, or a flow.wave span for nested wave dispatches)
+        # here so every per-worker dispatch span parents under it.
+        parent_span = Span.current()
         try:
             rounds = 0
             while pending:
@@ -349,7 +373,12 @@ class Router:
                     raise ClusterError(str(exc)) from exc
                 futures = {
                     worker_id: self._pool.submit(
-                        self._submit_group, worker_id, group, priority, trace
+                        self._submit_group,
+                        worker_id,
+                        group,
+                        priority,
+                        trace,
+                        parent_span,
                     )
                     for worker_id, group in groups.items()
                 }
@@ -363,6 +392,12 @@ class Router:
                         with self._lock:
                             self._requeues += len(group)
                         self._m_requeued.inc(len(group))
+                        emit_event(
+                            "router.requeue",
+                            trace=trace,
+                            worker=worker_id,
+                            specs=len(group),
+                        )
                         pending.extend(group)
                         continue
                     for (index, _), result in zip(group, answered):
@@ -380,27 +415,46 @@ class Router:
         group: "list[tuple[int, TaskSpec]]",
         priority: int = 0,
         trace: str | None = None,
+        parent: "Span | None" = None,
     ) -> list[TaskResult]:
         worker = self.workers[worker_id]
-        requests = [
-            encode_request(
-                spec,
-                request_id=local_id,
-                version=PROTOCOL_VERSION,
-                trace=trace,
-                priority=priority,
-            )
-            for local_id, (_, spec) in enumerate(group)
-        ]
-        responses = worker.submit(requests, priority=priority)
-        if len(responses) != len(requests):
-            raise WorkerDeadError(
-                f"worker {worker_id} answered {len(responses)} responses "
-                f"for {len(requests)} requests"
-            )
+        # Runs on a pool thread: the dispatch span is re-rooted from the
+        # captured caller span, and its id rides the envelope's "span" key so
+        # the worker-side subtree (possibly in another process, over TCP)
+        # parents under this hop.
+        wire_trace = trace if trace is not None else (
+            parent.trace_id if parent is not None else None
+        )
+        with span(
+            "router.dispatch",
+            trace_id=wire_trace,
+            parent_id=parent.span_id if parent is not None else None,
+            worker=worker_id,
+            specs=len(group),
+        ) as dispatch_span:
+            requests = [
+                encode_request(
+                    spec,
+                    request_id=local_id,
+                    version=PROTOCOL_VERSION,
+                    trace=wire_trace,
+                    priority=priority,
+                    span=(
+                        dispatch_span.span_id if dispatch_span is not None else None
+                    ),
+                )
+                for local_id, (_, spec) in enumerate(group)
+            ]
+            responses = worker.submit(requests, priority=priority)
+            if len(responses) != len(requests):
+                raise WorkerDeadError(
+                    f"worker {worker_id} answered {len(responses)} responses "
+                    f"for {len(requests)} requests"
+                )
         with self._lock:
             self._routed[worker_id] += len(group)
         self._m_routed[worker_id].inc(len(group))
+        get_default_exemplars().note(f"router.routed.{worker_id}", wire_trace)
         return [decode_response(response) for response in responses]
 
     def _run_plan(self, spec: PipelineSpec) -> TaskResult:
@@ -427,11 +481,21 @@ class Router:
             # Forward the batch's trace id to the workers when it is
             # unambiguous (all requests under one Trace context — the
             # common client batch); mixed-trace batches forward nothing.
+            # The caller's span id parents this hop under the same condition.
             traces = {parsed.trace for _, parsed in parsed_entries if parsed.trace}
             batch_trace = traces.pop() if len(traces) == 1 else None
+            spans = {parsed.span for _, parsed in parsed_entries if parsed.span}
+            batch_parent = (
+                spans.pop() if batch_trace is not None and len(spans) == 1 else None
+            )
             for (position, parsed), result in zip(
                 parsed_entries,
-                self.submit_specs(specs, priority=priority, trace=batch_trace),
+                self.submit_specs(
+                    specs,
+                    priority=priority,
+                    trace=batch_trace,
+                    span_parent=batch_parent,
+                ),
             ):
                 if result.error is not None:
                     responses[position] = encode_error(
@@ -468,29 +532,43 @@ class Router:
                 self._ring.remove(worker_id)
                 self._deaths += 1
                 self._m_deaths.inc()
+                died = True
+            else:
+                died = False
+        if died:
+            emit_event(
+                "worker.death", worker=worker_id, survivors=len(self._ring.nodes)
+            )
 
     @property
     def live_workers(self) -> set[str]:
         return self._ring.nodes
 
     # ------------------------------------------------------------------- stats
-    def stats_snapshot(self, prefix: str = "") -> dict:
+    def stats_snapshot(self, prefix: str = "", *, reset: bool = False) -> dict:
         """The observability snapshot a ``stats`` request answers with.
 
         Combines the aggregated :class:`ClusterStats` rows with the metric
         registry (batcher/engine/cache counters of every thread worker live
-        in the same process registry) and the admission-control state.
+        in the same process registry) and the admission-control state.  With
+        ``reset`` the registry is zeroed in place after the snapshot.
         """
-        return {
+        snapshot = {
             "cluster": self.stats().to_payload(),
             "admission": {
                 "max_inflight": self.admission.max_inflight,
                 "max_queue_depth": self.admission.max_queue_depth,
                 "pending": self.admission.pending,
+                "inflight": self.admission.inflight,
+                "queue_depth": self.admission.queued,
                 "retry_after": self.admission.retry_after,
             },
             "metrics": self._metrics.snapshot(prefix),
+            "exemplars": get_default_exemplars().snapshot(),
         }
+        if reset:
+            self._metrics.reset()
+        return snapshot
 
     def stats(self) -> ClusterStats:
         """Aggregate a :class:`ClusterStats` snapshot across all workers."""

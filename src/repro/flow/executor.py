@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 from ..datalake.table import Table
 from ..obs.metrics import MetricsRegistry, SIZE_BUCKETS, get_default_registry
+from ..obs.span import span
 from .operators import FlowError, Operator, Partition
 from .planner import Planner, WavePlan, independent_waves
 
@@ -217,25 +218,27 @@ class FlowExecutor:
                 continue
             plan = planner.plan_wave(wave, part)
             self._m_waves.inc()
-            self._m_wave_specs.observe(
-                sum(len(stage_plan.items) for stage_plan in plan.plans)
-            )
-            self._submit_new(plan, planner, report)
-            for stage_plan in plan.plans:
-                metrics = report.stages[stage_plan.index]
-                metrics.items += len(stage_plan.items)
-                metrics.submitted += stage_plan.fresh
-                metrics.reused += len(stage_plan.items) - stage_plan.fresh
-                metrics.partitions += 1
-                report.specs += len(stage_plan.items)
-                report.submitted += stage_plan.fresh
-                self._m_specs.inc(len(stage_plan.items))
-                self._m_submitted.inc(stage_plan.fresh)
-                self._m_reused.inc(len(stage_plan.items) - stage_plan.fresh)
-                values = [planner.answer(key) for key in stage_plan.keys]
-                part = stage_plan.operator.apply(
-                    part, list(zip(stage_plan.items, values)), answers
-                )
+            total_specs = sum(len(stage_plan.items) for stage_plan in plan.plans)
+            self._m_wave_specs.observe(total_specs)
+            # One span per LLM wave: submissions made inside inherit it via
+            # the ambient context, so cluster dispatch spans nest beneath it.
+            with span("flow.wave", specs=total_specs, stages=len(plan.plans)):
+                self._submit_new(plan, planner, report)
+                for stage_plan in plan.plans:
+                    metrics = report.stages[stage_plan.index]
+                    metrics.items += len(stage_plan.items)
+                    metrics.submitted += stage_plan.fresh
+                    metrics.reused += len(stage_plan.items) - stage_plan.fresh
+                    metrics.partitions += 1
+                    report.specs += len(stage_plan.items)
+                    report.submitted += stage_plan.fresh
+                    self._m_specs.inc(len(stage_plan.items))
+                    self._m_submitted.inc(stage_plan.fresh)
+                    self._m_reused.inc(len(stage_plan.items) - stage_plan.fresh)
+                    values = [planner.answer(key) for key in stage_plan.keys]
+                    part = stage_plan.operator.apply(
+                        part, list(zip(stage_plan.items, values)), answers
+                    )
         return part
 
     def _submit_new(

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from typing import Protocol, Sequence, runtime_checkable
 
 from ..obs.metrics import MetricsRegistry, get_default_registry
+from ..obs.span import span
 from .base import Completion, LanguageModel
 
 
@@ -147,22 +148,27 @@ class CachedLLM(LanguageModel):
             texts: list[str | None] = []
             miss_order: list[str] = []
             pending: set[str] = set()
-            for prompt in prompts:
-                if prompt in pending:
-                    # Served by the in-flight miss ahead of it in this batch —
-                    # sequentially this occurrence would have been a hit.
-                    self.hits += 1
-                    self._m_hits.inc()
-                    texts.append(None)
-                    continue
-                text = self._lookup(prompt)
-                texts.append(text)
-                if text is None:
-                    pending.add(prompt)
-                    miss_order.append(prompt)
+            with span("cache.lookup", prompts=len(prompts)) as lookup_span:
+                for prompt in prompts:
+                    if prompt in pending:
+                        # Served by the in-flight miss ahead of it in this
+                        # batch — sequentially this occurrence would have
+                        # been a hit.
+                        self.hits += 1
+                        self._m_hits.inc()
+                        texts.append(None)
+                        continue
+                    text = self._lookup(prompt)
+                    texts.append(text)
+                    if text is None:
+                        pending.add(prompt)
+                        miss_order.append(prompt)
+                if lookup_span is not None:
+                    lookup_span.attrs["misses"] = len(miss_order)
             fetched_texts: dict[str, str] = {}
             if miss_order:
-                fetched = self.inner.complete_batch(miss_order, kind=kind)
+                with span("llm.backend", kind=kind, prompts=len(miss_order)):
+                    fetched = self.inner.complete_batch(miss_order, kind=kind)
                 for prompt, completion in zip(miss_order, fetched):
                     fetched_texts[prompt] = completion.text
                     self._store(prompt, completion.text)

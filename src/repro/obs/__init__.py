@@ -1,7 +1,7 @@
-"""Observability layer: metrics, request tracing and admission control.
+"""Observability layer: metrics, tracing, events, export, admission control.
 
 The serving stack (engine → batcher → cache → router) grew fast; this
-package is the measurement layer that keeps it honest.  Three pieces:
+package is the measurement layer that keeps it honest.  Six pieces:
 
 * :mod:`repro.obs.metrics` — a dependency-free metrics core: thread-safe
   :class:`Counter`, :class:`Gauge` and fixed-bucket latency
@@ -13,16 +13,28 @@ package is the measurement layer that keeps it honest.  Three pieces:
   trace id that travels inside the v2 wire envelope (``"trace"`` key) and is
   echoed on the response, so a request can be followed client → service →
   logs without any shared infrastructure.
+* :mod:`repro.obs.span` — hierarchical :class:`Span` timing nested under the
+  trace: span/parent ids cross process boundaries via the envelope's
+  ``"span"`` key, so one cluster request yields one causal tree
+  (client → router → worker → engine → batcher → LLM).
+* :mod:`repro.obs.events` — a bounded, thread-safe structured event log
+  (ring buffer + optional JSONL file sink, deterministic head-based
+  sampling by trace id) fed by completed spans and control-plane incidents;
+  ``repro trace <id>`` renders its span waterfall.
+* :mod:`repro.obs.export` — Prometheus/OpenMetrics text rendering of a
+  metrics snapshot plus per-name exemplar trace ids, served from
+  ``--stats-port`` via content negotiation.
 * :mod:`repro.obs.admission` — load shedding: an
   :class:`AdmissionController` bounds in-flight and queued requests and
   rejects the excess with a structured ``overloaded`` protocol error
-  (retry-after hint) instead of queueing unboundedly, plus a
-  :class:`PriorityLock` so higher-priority batches dequeue first.
+  (retry-after hint, queue depth, inflight count) instead of queueing
+  unboundedly, plus a :class:`PriorityLock` so higher-priority batches
+  dequeue first.
 
 Snapshots are exposed end-to-end: the ``stats`` wire type
 (:class:`repro.api.stats_spec.StatsSpec`), :meth:`repro.api.Client.stats`,
 ``python -m repro stats`` and ``serve --stats-port``.  See
-``docs/observability.md`` for the metric name catalogue.
+``docs/observability.md`` for the metric and span name catalogues.
 """
 
 from .admission import (
@@ -31,6 +43,14 @@ from .admission import (
     serve_stats_in_thread,
     start_stats_server,
 )
+from .events import (
+    EventLog,
+    configure_default_event_log,
+    emit_event,
+    get_default_event_log,
+    render_waterfall,
+)
+from .export import ExemplarStore, get_default_exemplars, render_prometheus
 from .metrics import (
     Counter,
     Gauge,
@@ -38,18 +58,32 @@ from .metrics import (
     MetricsRegistry,
     get_default_registry,
 )
+from .span import Span, remote_span, set_tracing, span, tracing_enabled
 from .trace import Trace, new_trace_id
 
 __all__ = [
     "AdmissionController",
     "Counter",
+    "EventLog",
+    "ExemplarStore",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PriorityLock",
+    "Span",
     "Trace",
+    "configure_default_event_log",
+    "emit_event",
+    "get_default_event_log",
+    "get_default_exemplars",
     "get_default_registry",
     "new_trace_id",
+    "remote_span",
+    "render_prometheus",
+    "render_waterfall",
     "serve_stats_in_thread",
+    "set_tracing",
+    "span",
     "start_stats_server",
+    "tracing_enabled",
 ]

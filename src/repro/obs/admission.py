@@ -88,6 +88,22 @@ class AdmissionController:
         with self._lock:
             return self._pending
 
+    @property
+    def inflight(self) -> int:
+        """Pending requests presumed executing (capped at ``max_inflight``)."""
+        pending = self.pending
+        if self.max_inflight is None:
+            return pending
+        return min(pending, self.max_inflight)
+
+    @property
+    def queued(self) -> int:
+        """Pending requests waiting beyond the inflight allowance."""
+        pending = self.pending
+        if self.max_inflight is None:
+            return 0
+        return max(0, pending - self.max_inflight)
+
     # ------------------------------------------------------------ life-cycle
     def try_acquire(self, n: int = 1) -> bool:
         """Reserve capacity for ``n`` requests; False means shed them.
@@ -176,26 +192,93 @@ class PriorityLock:
 
 
 # --------------------------------------------------------------- stats server
+def _http_response(
+    status: str, content_type: str, body: str, *, head: bool = False
+) -> bytes:
+    payload = body.encode("utf-8")
+    header = (
+        f"HTTP/1.0 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("ascii")
+    return header if head else header + payload
+
+
 async def start_stats_server(
     snapshot_fn: Callable[[], dict], host: str = "127.0.0.1", port: int = 0
 ) -> asyncio.AbstractServer:
-    """A one-shot TCP endpoint: connect, receive one JSON snapshot line, done.
+    """The ``serve --stats-port`` side channel, with content negotiation.
 
-    This is the ``serve --stats-port`` side channel: it never touches the
-    engine or the batch lock, so stats stay readable while the main port is
-    saturated (which is exactly when you want them).
+    The endpoint never touches the engine or the batch lock, so stats stay
+    readable while the main port is saturated (which is exactly when you
+    want them).  Two dialects share the port, sniffed from the first line:
+
+    * **HTTP** (``GET``/``HEAD``) — ``/metrics`` answers the snapshot's
+      ``"metrics"`` section in Prometheus text format 0.0.4 (with exemplar
+      comments when the snapshot carries an ``"exemplars"`` section); any
+      other path answers the full snapshot as JSON.  ``curl``-able and
+      scrapeable by stock Prometheus.
+    * **legacy** — a client that connects and just reads (the pre-existing
+      ``repro stats --stats-port`` contract) receives one JSON snapshot
+      line after a short sniff timeout, exactly as before.
     """
 
     async def handle(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
+            first = await asyncio.wait_for(reader.readline(), timeout=0.25)
+        except (asyncio.TimeoutError, ConnectionError):
+            first = b""  # silent client: legacy one-JSON-line dialect
+        try:
             payload = snapshot_fn()
         except Exception as exc:  # never kill the endpoint over one snapshot
             payload = {"error": str(exc)}
         try:
-            writer.write((json.dumps(payload, ensure_ascii=False) + "\n").encode())
+            request = first.decode("latin-1", "replace").strip()
+            parts = request.split()
+            if len(parts) >= 2 and parts[0] in ("GET", "HEAD"):
+                while True:  # consume request headers up to the blank line
+                    try:
+                        line = await asyncio.wait_for(reader.readline(), timeout=0.25)
+                    except (asyncio.TimeoutError, ConnectionError):
+                        break
+                    if line in (b"", b"\r\n", b"\n"):
+                        break
+                head = parts[0] == "HEAD"
+                path = parts[1].split("?", 1)[0]
+                if path in ("/metrics", "/metrics/"):
+                    from .export import render_prometheus
+
+                    body = render_prometheus(
+                        payload.get("metrics", {}),
+                        exemplars=payload.get("exemplars"),
+                    )
+                    writer.write(
+                        _http_response(
+                            "200 OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            body,
+                            head=head,
+                        )
+                    )
+                else:
+                    writer.write(
+                        _http_response(
+                            "200 OK",
+                            "application/json; charset=utf-8",
+                            json.dumps(payload, ensure_ascii=False) + "\n",
+                            head=head,
+                        )
+                    )
+            else:
+                writer.write(
+                    (json.dumps(payload, ensure_ascii=False) + "\n").encode()
+                )
             await writer.drain()
+        except ConnectionError:
+            pass
         finally:
             writer.close()
 

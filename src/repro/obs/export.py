@@ -1,0 +1,145 @@
+"""Prometheus/OpenMetrics text rendering of a metrics snapshot.
+
+The renderer works from the *JSON snapshot* (``MetricsRegistry.snapshot()``
+shape), not from live metric objects, so the same code path serves both the
+in-process registry and a snapshot fetched from a remote serving process
+over the stats port.  Output follows the Prometheus text format 0.0.4 as
+emitted by the reference client library:
+
+* counters are exposed as ``<name>_total``;
+* gauges are exposed twice — current value and ``<name>_high_water``;
+* histograms become cumulative ``_bucket{le="..."}`` series (rebuilt from
+  the snapshot's sparse per-bucket counts) plus ``le="+Inf"``, ``_sum``
+  and ``_count``.
+
+Exemplars — the most recent trace id observed per metric name — are
+rendered as plain ``#`` comment lines: every text-format parser skips
+unknown comments, so the exposition stays parseable by strict tooling
+while humans (and ``repro trace``) can still jump from a latency series
+straight to a representative waterfall.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any, Mapping
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Prefix stamped on every exported metric family.
+DEFAULT_PREFIX = "repro_"
+
+
+def _sanitize(name: str, prefix: str) -> str:
+    """Map a dotted registry name onto a legal Prometheus metric name."""
+    flat = _NAME_RE.sub("_", name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return prefix + flat
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value the way the reference client does."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _bucket_bound(key: str) -> float:
+    """Parse a snapshot bucket key (``le_0.005`` / ``le_inf``) to its bound."""
+    raw = key[3:] if key.startswith("le_") else key
+    if raw == "inf":
+        return float("inf")
+    return float(raw)
+
+
+class ExemplarStore:
+    """Latest trace id seen per metric name (thread-safe, bounded by names)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_name: dict[str, str] = {}
+
+    def note(self, name: str, trace_id: str | None) -> None:
+        if trace_id is None:
+            return
+        with self._lock:
+            self._by_name[name] = trace_id
+
+    def snapshot(self) -> dict[str, str]:
+        with self._lock:
+            return dict(self._by_name)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._by_name.clear()
+
+
+_default_exemplars = ExemplarStore()
+
+
+def get_default_exemplars() -> ExemplarStore:
+    """The process-wide exemplar store fed by instrumented hot paths."""
+    return _default_exemplars
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any],
+    *,
+    exemplars: Mapping[str, str] | None = None,
+    prefix: str = DEFAULT_PREFIX,
+) -> str:
+    """Render a ``MetricsRegistry.snapshot()``-shaped mapping as text 0.0.4.
+
+    ``exemplars`` maps registry metric names to trace ids; matching entries
+    are emitted as comment lines next to their family.
+    """
+    exemplars = exemplars or {}
+    lines: list[str] = []
+
+    def _exemplar(name: str) -> None:
+        trace = exemplars.get(name)
+        if trace:
+            lines.append(f'# exemplar {_sanitize(name, prefix)} trace_id="{trace}"')
+
+    for name, value in sorted(dict(snapshot.get("counters", {})).items()):
+        flat = _sanitize(name, prefix)
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat}_total {_fmt(float(value))}")
+        _exemplar(name)
+
+    for name, payload in sorted(dict(snapshot.get("gauges", {})).items()):
+        flat = _sanitize(name, prefix)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_fmt(float(payload['value']))}")
+        lines.append(f"# TYPE {flat}_high_water gauge")
+        lines.append(f"{flat}_high_water {_fmt(float(payload['high_water']))}")
+        _exemplar(name)
+
+    for name, payload in sorted(dict(snapshot.get("histograms", {})).items()):
+        flat = _sanitize(name, prefix)
+        count = int(payload.get("count", 0))
+        lines.append(f"# TYPE {flat} histogram")
+        buckets = {
+            _bucket_bound(key): int(n)
+            for key, n in dict(payload.get("buckets", {})).items()
+        }
+        cumulative = 0
+        for bound in sorted(b for b in buckets if b != float("inf")):
+            cumulative += buckets[bound]
+            lines.append(f'{flat}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{flat}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{flat}_sum {_fmt(float(payload.get('sum', 0.0)))}")
+        lines.append(f"{flat}_count {count}")
+        _exemplar(name)
+
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "DEFAULT_PREFIX",
+    "ExemplarStore",
+    "get_default_exemplars",
+    "render_prometheus",
+]

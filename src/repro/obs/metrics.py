@@ -72,6 +72,10 @@ class Counter:
     def to_payload(self) -> int:
         return self.value
 
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
 
 class Gauge:
     """A value that can go up and down, with a high-water mark."""
@@ -109,6 +113,11 @@ class Gauge:
     def to_payload(self) -> dict[str, float]:
         with self._lock:
             return {"value": self._value, "high_water": self._high}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+            self._high = 0.0
 
 
 class Histogram:
@@ -168,8 +177,13 @@ class Histogram:
             if bucket_count == 0:
                 continue
             if cumulative + bucket_count >= rank:
+                if index == len(self.bounds):
+                    # Overflow (+Inf) bucket: there is no finite upper edge to
+                    # interpolate against, so report the observed maximum
+                    # rather than inventing a value near the top finite edge.
+                    return self._max
                 lower = self.bounds[index - 1] if index > 0 else 0.0
-                upper = self.bounds[index] if index < len(self.bounds) else self._max
+                upper = self.bounds[index]
                 # Clamp the interpolation window to what was actually seen,
                 # so small samples don't report a bucket edge nobody hit.
                 lower = max(lower, self._min if self._min is not math.inf else lower)
@@ -196,10 +210,21 @@ class Histogram:
             for bound, bucket_count in zip(self.bounds, self._counts):
                 if bucket_count:
                     buckets[f"le_{bound:g}"] = bucket_count
-            if self._counts[-1]:
+            if self._count:
+                # The +Inf overflow bucket is always explicit on non-empty
+                # histograms, so readers can tell "no overflow" from
+                # "overflow not reported".
                 buckets["le_inf"] = self._counts[-1]
             payload["buckets"] = buckets
             return payload
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = math.inf
+            self._max = -math.inf
 
 
 class MetricsRegistry:
@@ -260,9 +285,17 @@ class MetricsRegistry:
         return snap["counters"]
 
     def reset(self) -> None:
-        """Drop every metric (tests; production registries only grow)."""
+        """Zero every metric **in place** (benchmarks, ``stats --reset``).
+
+        Metric objects survive: components cache handles at construction
+        (``self._m_hits = registry.counter(...)``), so dropping entries from
+        the dict would silently disconnect them.  Zeroing keeps every cached
+        handle live while isolating per-run numbers.
+        """
         with self._lock:
-            self._metrics.clear()
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
 
 
 #: The registry the serving stack instruments against by default.

@@ -23,6 +23,7 @@ backend, just as the engine's worker semaphore bounds in-flight tasks.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
@@ -31,7 +32,10 @@ from functools import partial
 from typing import Any
 
 from ..llm.base import Completion, LanguageModel
+from ..obs.export import get_default_exemplars
 from ..obs.metrics import MetricsRegistry, SIZE_BUCKETS, get_default_registry
+from ..obs.span import Span
+from ..obs.trace import Trace
 
 
 @dataclass
@@ -41,6 +45,8 @@ class _Request:
     future: asyncio.Future
     #: ``perf_counter`` at submission; queue wait is measured at dispatch.
     enqueued: float = 0.0
+    #: ``batcher.wait`` span opened at submission (None when unsampled).
+    span: "Span | None" = None
 
 
 @dataclass
@@ -106,9 +112,17 @@ class MicroBatcher:
 
     # ----------------------------------------------------------------- client
     async def submit(self, prompt: str, kind: str = "other") -> Completion:
-        """Enqueue one prompt and await its completion."""
+        """Enqueue one prompt and await its completion.
+
+        The whole stay in the batcher — coalesce wait plus the batched LLM
+        call — is timed under a per-request ``batcher.wait`` span (parented
+        by the submitting task's span via the ambient context).
+        """
         loop = asyncio.get_running_loop()
-        request = _Request(prompt, kind, loop.create_future(), time.perf_counter())
+        wait_span = Span.begin("batcher.wait", attrs={"kind": kind})
+        request = _Request(
+            prompt, kind, loop.create_future(), time.perf_counter(), wait_span
+        )
         queue = self._pending.setdefault(kind, [])
         queue.append(request)
         self._generation += 1
@@ -117,7 +131,15 @@ class MicroBatcher:
             self._flush_kind(loop, kind, reason="size")
         else:
             self._arm(loop)
-        return await request.future
+        try:
+            completion = await request.future
+        except BaseException:
+            if wait_span is not None:
+                wait_span.finish(status="error")
+            raise
+        if wait_span is not None:
+            wait_span.finish()
+        return completion
 
     # ----------------------------------------------------------------- triggers
     def _arm(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -175,21 +197,54 @@ class MicroBatcher:
         self, loop: asyncio.AbstractEventLoop, kind: str, batch: list[_Request]
     ) -> None:
         prompts = [request.prompt for request in batch]
+        # One llm.call span per dispatched batch.  It is parented by the
+        # first waiter's batcher.wait span — a batch belongs to all its
+        # waiters, but a tree needs one parent, and the first waiter is the
+        # one whose coalesce wait the batch closed out.
+        first_span = next(
+            (request.span for request in batch if request.span is not None), None
+        )
+        call_span = (
+            Span.begin(
+                "llm.call",
+                trace_id=first_span.trace_id,
+                parent_id=first_span.span_id,
+                attrs={"kind": kind, "batch": len(batch)},
+            )
+            if first_span is not None
+            else None
+        )
         started = time.perf_counter()
         try:
-            completions = await loop.run_in_executor(
-                self._executor, partial(self.llm.complete_batch, prompts, kind)
-            )
+            if call_span is not None:
+                # run_in_executor does NOT propagate contextvars; capture the
+                # context under the call span so spans opened inside the LLM
+                # stack (cache.lookup, llm.backend) nest beneath it.
+                with call_span.bind():
+                    context = contextvars.copy_context()
+                call = partial(
+                    context.run, partial(self.llm.complete_batch, prompts, kind)
+                )
+            else:
+                call = partial(self.llm.complete_batch, prompts, kind)
+            completions = await loop.run_in_executor(self._executor, call)
             latency = self._m_llm_latency.get(kind)
             if latency is None:
                 latency = self._metrics.histogram(f"batcher.llm_latency.{kind}")
                 self._m_llm_latency[kind] = latency
             latency.observe(time.perf_counter() - started)
+            get_default_exemplars().note(
+                f"batcher.llm_latency.{kind}", Trace.current_id()
+            )
         except Exception as exc:  # propagate to every waiter of this batch
+            if call_span is not None:
+                call_span.finish(status="error")
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
+        if call_span is not None:
+            call_span.finish()
         for request, completion in zip(batch, completions):
             if not request.future.done():
                 request.future.set_result(completion)

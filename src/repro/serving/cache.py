@@ -26,6 +26,7 @@ import os
 import threading
 from pathlib import Path
 
+from ..obs.events import emit_event
 from ..obs.metrics import MetricsRegistry, get_default_registry
 
 
@@ -72,6 +73,8 @@ class PersistentCache:
         return self.path / f"shard-{shard:02d}.jsonl"
 
     def _load(self) -> None:
+        torn = 0
+        stale = 0
         for shard_path in sorted(self.path.glob("shard-*.jsonl")):
             with open(shard_path, "r", encoding="utf-8") as handle:
                 for line in handle:
@@ -81,10 +84,24 @@ class PersistentCache:
                     try:
                         entry = json.loads(line)
                     except json.JSONDecodeError:
+                        torn += 1
                         continue  # torn final line from a crashed writer
                     key, text = entry.get("key"), entry.get("text")
                     if isinstance(key, str) and isinstance(text, str):
+                        if key in self._entries:
+                            stale += 1  # superseded line; compact() would drop it
                         self._entries[key] = text
+        if torn or stale:
+            # Compaction-worthy anomalies: torn lines mean a writer crashed
+            # mid-append, stale lines mean superseded history is bloating the
+            # shards.  Surface both in the event log so operators notice.
+            emit_event(
+                "pcache.anomaly",
+                path=str(self.path),
+                torn_lines=torn,
+                stale_lines=stale,
+                live_entries=len(self._entries),
+            )
 
     def _append(self, key: str, text: str) -> None:
         line = json.dumps({"key": key, "text": text}, ensure_ascii=False)

@@ -25,7 +25,10 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable
 
+from ..obs.export import get_default_exemplars
 from ..obs.metrics import MetricsRegistry, get_default_registry
+from ..obs.span import span
+from ..obs.trace import Trace
 from .batcher import BatcherStats, MicroBatcher
 from .stages import OrderedGate, execute_task
 
@@ -113,7 +116,11 @@ class ExecutionEngine:
             self.last_report = EngineReport()
             return []
         started = time.perf_counter()
-        results = asyncio.run(self._run_async(pipeline, task_list))
+        # asyncio.run copies the current context into the main task, so the
+        # engine.run span (and any wire-carried trace above it) parents every
+        # per-task span inside the loop.
+        with span("engine.run", tasks=len(task_list)):
+            results = asyncio.run(self._run_async(pipeline, task_list))
         self.last_report.elapsed = time.perf_counter() - started
         self.last_report.n_tasks = len(task_list)
         return results
@@ -149,15 +156,20 @@ class ExecutionEngine:
 
         async def bounded(index: int, task: "Task") -> "ManipulationResult":
             async with semaphore:
-                tasks_counter, latency = kind_metrics(task.task_type.name.lower())
+                kind = task.task_type.name.lower()
+                tasks_counter, latency = kind_metrics(kind)
                 inflight.inc()
                 started = time.perf_counter()
                 try:
-                    return await execute_task(pipeline, task, index, batcher, gate)
+                    with span("engine.task", kind=kind, index=index):
+                        return await execute_task(pipeline, task, index, batcher, gate)
                 finally:
                     inflight.dec()
                     tasks_counter.inc()
                     latency.observe(time.perf_counter() - started)
+                    get_default_exemplars().note(
+                        f"engine.task_latency.{kind}", Trace.current_id()
+                    )
 
         try:
             results = await asyncio.gather(

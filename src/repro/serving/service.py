@@ -54,7 +54,11 @@ from ..llm.base import LanguageModel
 from ..llm.cache import CachedLLM
 from ..llm.simulated import SimulatedLLM
 from ..obs.admission import AdmissionController, PriorityLock
+from ..obs.events import emit_event
+from ..obs.export import get_default_exemplars
 from ..obs.metrics import MetricsRegistry, get_default_registry
+from ..obs.span import remote_span
+from ..obs.trace import Trace
 from .cache import PersistentCache
 from .engine import EngineConfig, ExecutionEngine
 
@@ -150,7 +154,10 @@ class ServingService:
         for position, parsed in parsed_entries:
             if isinstance(parsed.spec, StatsSpec):
                 snapshot = TaskResult(
-                    answer=self.stats_snapshot(parsed.spec.prefix), task_type="stats"
+                    answer=self.stats_snapshot(
+                        parsed.spec.prefix, reset=parsed.spec.reset
+                    ),
+                    task_type="stats",
                 )
                 responses[position] = encode_success(
                     snapshot, parsed.id, parsed.version, trace=parsed.trace
@@ -160,15 +167,32 @@ class ServingService:
         if work:
             if not self.admission.try_acquire(len(work)):
                 info = overloaded_error(self.admission)
+                emit_event(
+                    "admission.shed",
+                    name=self.admission.name,
+                    requests=len(work),
+                    **(info.details or {}),
+                )
                 for position, parsed in work:
                     responses[position] = encode_error(
                         info, parsed.id, parsed.version, trace=parsed.trace
                     )
             else:
                 priority = max(parsed.priority for _, parsed in work)
+                batch_trace, batch_parent = batch_span_context(
+                    parsed for _, parsed in work
+                )
                 try:
-                    with self._batch_lock.hold(priority):
-                        self._handle_parsed_locked(work, responses)
+                    # The span covers the lock wait too — that *is* the
+                    # service-side queueing a caller experiences.
+                    with remote_span(
+                        "service.batch",
+                        trace_id=batch_trace,
+                        parent_id=batch_parent,
+                        requests=len(work),
+                    ):
+                        with self._batch_lock.hold(priority):
+                            self._handle_parsed_locked(work, responses)
                 finally:
                     self.admission.release(len(work))
         with self._served_lock:
@@ -206,6 +230,7 @@ class ServingService:
             started = time.perf_counter()
             results = self.pipeline.run_many(tasks, engine=self.engine)
             self._m_batch_latency.observe(time.perf_counter() - started)
+            get_default_exemplars().note("service.batch_latency", Trace.current_id())
             for (position, parsed), result in zip(slots, results):
                 payload = TaskResult.from_manipulation(result, request_id=parsed.id)
                 responses[position] = encode_success(
@@ -215,20 +240,30 @@ class ServingService:
             responses[position] = self._run_plan_locked(parsed)
 
     # ------------------------------------------------------------------- stats
-    def stats_snapshot(self, prefix: str = "") -> dict:
-        """The observability snapshot a ``stats`` request answers with."""
-        return {
+    def stats_snapshot(self, prefix: str = "", *, reset: bool = False) -> dict:
+        """The observability snapshot a ``stats`` request answers with.
+
+        With ``reset`` the registry is zeroed in place *after* the snapshot
+        is taken, so the next one reports only what happened since.
+        """
+        snapshot = {
             "service": {
                 "requests_served": self.requests_served,
                 "admission": {
                     "max_inflight": self.admission.max_inflight,
                     "max_queue_depth": self.admission.max_queue_depth,
                     "pending": self.admission.pending,
+                    "inflight": self.admission.inflight,
+                    "queue_depth": self.admission.queued,
                     "retry_after": self.admission.retry_after,
                 },
             },
             "metrics": self._metrics.snapshot(prefix),
+            "exemplars": get_default_exemplars().snapshot(),
         }
+        if reset:
+            self._metrics.reset()
+        return snapshot
 
     def _run_specs_locked(self, specs: "Sequence[TaskSpec]") -> list[TaskResult]:
         """Execute already-validated specs through the engine (lock held).
@@ -431,7 +466,12 @@ def run_pipeline_spec(spec: PipelineSpec, submit: "Callable") -> TaskResult:
 
 
 def overloaded_error(admission: AdmissionController) -> ErrorInfo:
-    """The structured shed response of an admission-control rejection."""
+    """The structured shed response of an admission-control rejection.
+
+    Beyond the ``retry_after`` back-off hint, ``details`` carries the
+    controller state at shed time — ``queue_depth`` and ``inflight`` tell a
+    shed client (and the chaos tests) *why*: saturated executor, or backlog.
+    """
     capacity = admission.capacity
     return ErrorInfo(
         code="overloaded",
@@ -440,7 +480,37 @@ def overloaded_error(admission: AdmissionController) -> ErrorInfo:
             f"of {capacity} allowed; retry after {admission.retry_after:g}s"
         ),
         retry_after=admission.retry_after,
+        details={
+            "pending": admission.pending,
+            "inflight": admission.inflight,
+            "queue_depth": admission.queued,
+            "capacity": capacity,
+        },
     )
+
+
+def batch_span_context(
+    parsed_entries: "Iterable[ParsedRequest]",
+) -> tuple[str | None, str | None]:
+    """The (trace id, parent span id) a batch-level server span should use.
+
+    One server-side span covers the whole admitted batch, so it can only be
+    attached to a caller's trace when the batch is *unambiguous*: every
+    envelope carries the same trace id.  The parent span id is used under
+    the same condition — mixed-trace batches (independent requests that
+    happened to coalesce) get a local span with a fresh trace instead of
+    cross-linking unrelated traces.
+    """
+    traces: set[str | None] = set()
+    spans: set[str | None] = set()
+    for parsed in parsed_entries:
+        traces.add(parsed.trace)
+        spans.add(parsed.span)
+    batch_trace = traces.pop() if len(traces) == 1 else None
+    batch_parent = (
+        spans.pop() if batch_trace is not None and len(spans) == 1 else None
+    )
+    return batch_trace, batch_parent
 
 
 def claimed_version(request: Any) -> int:

@@ -51,18 +51,30 @@ def test_repeated_submission_hits_the_owning_workers_cache(mixed_specs):
 
 # --------------------------------------------------------------- failover
 def test_worker_death_requeues_onto_survivors(mixed_specs):
-    with make_router(3) as router:
-        baseline = fingerprint(router.submit_specs(mixed_specs))
-        victim_id = sorted(router.live_workers)[0]
-        router.workers[victim_id].kill()
-        results = router.submit_specs(mixed_specs)
-        assert fingerprint(results) == baseline  # pure-function regime
-        assert victim_id not in router.live_workers
-        stats = router.stats()
-        assert stats.deaths == 1
-        assert stats.requeues > 0
-        dead_rows = [row for row in stats.workers if not row.alive]
-        assert [row.worker_id for row in dead_rows] == [victim_id]
+    from repro.obs import configure_default_event_log
+
+    log = configure_default_event_log(capacity=8192)
+    try:
+        with make_router(3) as router:
+            baseline = fingerprint(router.submit_specs(mixed_specs))
+            victim_id = sorted(router.live_workers)[0]
+            router.workers[victim_id].kill()
+            results = router.submit_specs(mixed_specs)
+            assert fingerprint(results) == baseline  # pure-function regime
+            assert victim_id not in router.live_workers
+            stats = router.stats()
+            assert stats.deaths == 1
+            assert stats.requeues > 0
+            dead_rows = [row for row in stats.workers if not row.alive]
+            assert [row.worker_id for row in dead_rows] == [victim_id]
+            # The incident landed in the structured event log.
+            deaths = log.events(kind="worker.death")
+            assert [e["worker"] for e in deaths] == [victim_id]
+            assert deaths[0]["survivors"] == 2
+            requeues = log.events(kind="router.requeue")
+            assert requeues and all(e["worker"] == victim_id for e in requeues)
+    finally:
+        configure_default_event_log(capacity=8192)
 
 
 def test_all_workers_dead_raises_cluster_error():

@@ -86,6 +86,22 @@ def test_histogram_empty_and_invalid_quantiles():
         Histogram("h", bounds=(2, 1))
 
 
+def test_histogram_overflow_bucket_and_quantiles_beyond_top_bound():
+    # Regression: observations past the last bound (default latency buckets
+    # top out at 10s) used to vanish from the bucket payload and collapse
+    # high quantiles onto the top edge.  They now land in an explicit
+    # ``le_inf`` bucket and overflow quantiles answer the observed max.
+    histogram = Histogram("h")  # default LATENCY_BUCKETS, top bound 10.0
+    for value in (0.5, 11.0, 12.5, 30.0):
+        histogram.observe(value)
+    payload = histogram.to_payload()
+    assert payload["buckets"]["le_inf"] == 3
+    assert sum(payload["buckets"].values()) == payload["count"] == 4
+    assert histogram.quantile(0.99) == 30.0  # observed max, not the 10s edge
+    assert histogram.quantile(0.9) == 30.0
+    assert histogram.quantile(0.1) <= 10.0
+
+
 def test_histogram_single_value_percentiles_do_not_invent_spread():
     histogram = Histogram("h")
     for _ in range(10):
@@ -111,12 +127,36 @@ def test_registry_creates_on_first_use_and_snapshots():
 
 def test_registry_prefix_filter_and_reset():
     registry = MetricsRegistry()
-    registry.counter("batcher.requests").inc()
+    requests = registry.counter("batcher.requests")
+    requests.inc()
     registry.counter("cache.hits").inc()
     snapshot = registry.snapshot("batcher")
     assert list(snapshot["counters"]) == ["batcher.requests"]
+    # Reset zeroes IN PLACE: components cache their metric handles at
+    # construction, so the handles must stay registered and live.
     registry.reset()
-    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert registry.snapshot()["counters"] == {"batcher.requests": 0, "cache.hits": 0}
+    assert registry.counter("batcher.requests") is requests
+    requests.inc(3)
+    assert registry.snapshot()["counters"]["batcher.requests"] == 3
+
+
+def test_reset_zeroes_gauges_and_histograms_in_place():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("engine.inflight")
+    gauge.inc(5)
+    gauge.dec(2)
+    hist = registry.histogram("lat", (1, 2))
+    hist.observe(0.5)
+    hist.observe(10.0)
+    registry.reset()
+    assert gauge.value == 0 and gauge.high_water == 0
+    payload = hist.to_payload()
+    assert payload["count"] == 0 and payload["buckets"] == {}
+    assert hist.quantile(0.99) == 0.0
+    # Metrics keep working after the reset.
+    hist.observe(1.5)
+    assert hist.to_payload()["count"] == 1
 
 
 def test_registry_rejects_kind_conflicts():

@@ -129,8 +129,15 @@ def test_service_sheds_with_valid_v2_envelope_and_recovers():
         assert response["ok"] is False
         assert response["error"]["code"] == "overloaded"
         assert response["error"]["retry_after"] > 0
+        # The controller's state at shed time rides along for observability.
+        details = response["error"]["details"]
+        assert details["capacity"] == 1
+        assert details["pending"] >= 1
+        assert details["inflight"] >= 0 and details["queue_depth"] >= 0
+        assert details["inflight"] + details["queue_depth"] == details["pending"]
         result = decode_response(response)
         assert result.error is not None and result.error.code == "overloaded"
+        assert result.error.details == details
 
     # Recovery: after the queue drains, the same request is served again.
     recovered = service.handle_batch([encode_request(SPEC, request_id=99)])[0]

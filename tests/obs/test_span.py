@@ -1,0 +1,278 @@
+"""Span tests: nesting, sampling, the kill switch, and distributed trees.
+
+Acceptance scenarios of the tracing tentpole: a 2-worker cluster round trip
+yields ONE span tree rooted at the client's ``client.submit`` span, and
+trace/span ids survive the TCP hop into spawned subprocess workers (spans
+from several pids reassemble into one waterfall via the shared JSONL sink).
+"""
+
+import os
+
+import pytest
+
+from repro.api import Client, TransformationSpec
+from repro.obs import (
+    Span,
+    Trace,
+    configure_default_event_log,
+    render_waterfall,
+    set_tracing,
+    span,
+    remote_span,
+    tracing_enabled,
+)
+from repro.obs.events import read_events
+from repro.obs.span import new_span_id
+
+SPEC = TransformationSpec(value="19990415", examples=[["20000101", "2000-01-01"]])
+
+
+@pytest.fixture
+def event_log():
+    """A fresh ring-only default event log (restored state is a fresh one too)."""
+    log = configure_default_event_log(capacity=8192)
+    yield log
+    configure_default_event_log(capacity=8192)
+
+
+def _span_events(log, trace_id):
+    return log.events(trace=trace_id, kind="span")
+
+
+def _tree_check(events):
+    """Every span's parent is either None or another span of the same trace."""
+    by_id = {e["span"]: e for e in events}
+    roots = [e for e in events if e["parent"] is None]
+    for event in events:
+        if event["parent"] is not None:
+            assert event["parent"] in by_id, f"orphan span {event}"
+    return by_id, roots
+
+
+# ------------------------------------------------------------------- basics
+def test_span_ids_are_pid_prefixed_and_unique(event_log):
+    ids = {new_span_id() for _ in range(64)}
+    assert len(ids) == 64
+    assert all(i.split("-")[0] == f"{os.getpid():x}" for i in ids)
+
+
+def test_span_context_nests_and_emits(event_log):
+    with Trace.start() as trace:
+        with span("outer", a=1) as outer:
+            assert Span.current() is outer
+            assert outer.trace_id == trace.trace_id
+            with span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == trace.trace_id
+            assert Span.current() is outer
+    assert Span.current() is None
+    events = _span_events(event_log, trace.trace_id)
+    # Children finish (and emit) before their parents.
+    assert [e["name"] for e in events] == ["inner", "outer"]
+    assert events[1]["attrs"] == {"a": 1}
+    assert all(e["status"] == "ok" and e["dur"] >= 0 for e in events)
+
+
+def test_span_marks_error_status_on_exception(event_log):
+    with Trace.start() as trace:
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+    [event] = _span_events(event_log, trace.trace_id)
+    assert event["status"] == "error"
+
+
+def test_span_finish_is_idempotent(event_log):
+    sp = Span.begin("once", trace_id="aa" * 8)
+    sp.finish()
+    first_end = sp.end
+    sp.finish(status="error")
+    assert sp.end == first_end and sp.status == "ok"
+    assert len(_span_events(event_log, "aa" * 8)) == 1
+
+
+def test_kill_switch_makes_spans_noops(event_log):
+    assert tracing_enabled()
+    set_tracing(False)
+    try:
+        assert Span.begin("nope") is None
+        with span("nope") as sp:
+            assert sp is None
+    finally:
+        set_tracing(True)
+    assert len(event_log) == 0
+
+
+def test_sampled_out_trace_produces_no_spans():
+    log = configure_default_event_log(capacity=64, sample_rate=0.0)
+    try:
+        assert Span.begin("unsampled", trace_id="ab" * 8) is None
+        with span("unsampled", trace_id="ab" * 8) as sp:
+            assert sp is None
+        assert len(log) == 0
+    finally:
+        configure_default_event_log(capacity=8192)
+
+
+def test_remote_span_reroots_trace_and_parent(event_log):
+    with remote_span("server.side", trace_id="cd" * 8, parent_id="p-1") as sp:
+        assert Trace.current_id() == "cd" * 8
+        assert sp.trace_id == "cd" * 8 and sp.parent_id == "p-1"
+        with span("nested") as child:
+            assert child.trace_id == "cd" * 8
+            assert child.parent_id == sp.span_id
+    assert Trace.current_id() is None
+    events = _span_events(event_log, "cd" * 8)
+    assert [e["name"] for e in events] == ["nested", "server.side"]
+
+
+# ------------------------------------------------------------- local client
+def test_local_client_produces_one_tree_through_the_llm(event_log):
+    with Client.local(seed=0) as client:
+        with Trace.start() as trace:
+            results = client.submit_many([SPEC, SPEC])
+        assert all(r.error is None for r in results)
+        assert client.last_trace() == trace.trace_id
+        events = client.events(kind="span")
+    by_id, roots = _tree_check(events)
+    assert len(roots) == 1 and roots[0]["name"] == "client.submit"
+    names = {e["name"] for e in events}
+    assert {
+        "client.submit",
+        "service.batch",
+        "engine.run",
+        "engine.task",
+        "batcher.wait",
+        "llm.call",
+        "cache.lookup",
+        "llm.backend",
+    } <= names
+
+
+# ------------------------------------------------------------------ cluster
+def test_two_worker_cluster_roundtrip_is_one_tree(event_log):
+    specs = [
+        TransformationSpec(
+            value=f"199904{10 + i:02d}", examples=[["20000101", "2000-01-01"]]
+        )
+        for i in range(4)
+    ]
+    with Client.cluster(workers=2, seed=0) as client:
+        with Trace.start() as trace:
+            results = client.submit_many(specs)
+        assert all(r.error is None for r in results)
+    events = _span_events(event_log, trace.trace_id)
+    by_id, roots = _tree_check(events)
+
+    # One tree, rooted at the client's submit span.
+    assert len(roots) == 1
+    root = roots[0]
+    assert root["name"] == "client.submit"
+    names = {e["name"] for e in events}
+    assert {"router.submit", "router.dispatch", "service.batch", "llm.call"} <= names
+
+    # Every span's window sits inside the root's window (monotonic clock is
+    # shared across threads, so this is exact, not approximate).
+    root_start = root["start"]
+    root_end = root["start"] + root["dur"]
+    for event in events:
+        assert event["start"] >= root_start - 1e-6
+        assert event["start"] + event["dur"] <= root_end + 1e-6
+
+    # The waterfall names the full path and marks a critical path.
+    rendered = render_waterfall(event_log.events(), trace.trace_id)
+    assert rendered.splitlines()[0].startswith(f"trace {trace.trace_id}")
+    assert "*client.submit" in rendered
+    assert "router.dispatch" in rendered and "llm.call" in rendered
+
+
+def test_span_ids_survive_the_subprocess_tcp_hop(tmp_path, monkeypatch):
+    events_file = tmp_path / "events.jsonl"
+    monkeypatch.setenv("REPRO_EVENTS_FILE", str(events_file))
+    # Workers inherit the environment: make sure no leaked sampling knob
+    # can silently drop this trace's worker-side spans.
+    monkeypatch.delenv("REPRO_EVENTS_SAMPLE", raising=False)
+    configure_default_event_log(path=events_file)
+    try:
+        with Client.cluster(workers=2, mode="process", seed=0) as client:
+            with Trace.start() as trace:
+                results = client.submit_many(
+                    [
+                        TransformationSpec(
+                            value=f"199904{10 + i:02d}",
+                            examples=[["20000101", "2000-01-01"]],
+                        )
+                        for i in range(3)
+                    ]
+                )
+            assert all(r.error is None for r in results)
+    finally:
+        configure_default_event_log(capacity=8192)
+
+    events = [
+        e
+        for e in read_events(events_file)
+        if e.get("kind") == "span" and e.get("trace") == trace.trace_id
+    ]
+    by_id, roots = _tree_check(events)
+    assert len(roots) == 1 and roots[0]["name"] == "client.submit"
+
+    # Spans were produced by the client AND at least one worker process
+    # (span ids are pid-prefixed), yet they stitch into one tree: the
+    # worker-side service.batch spans' parents are router.dispatch span ids
+    # minted in this process and carried over the wire envelope.
+    pids = {e["span"].split("-")[0] for e in events}
+    assert len(pids) >= 2, f"expected spans from several processes, got {pids}"
+    dispatch_ids = {e["span"] for e in events if e["name"] == "router.dispatch"}
+    batches = [e for e in events if e["name"] == "service.batch"]
+    assert batches and all(e["parent"] in dispatch_ids for e in batches)
+    worker_pid = {e["span"].split("-")[0] for e in batches}
+    assert worker_pid.isdisjoint({f"{os.getpid():x}"})
+
+    rendered = render_waterfall(events, trace.trace_id)
+    for name in ("client.submit", "router.dispatch", "service.batch", "llm.call"):
+        assert name in rendered
+
+
+# ---------------------------------------------------------------------- CLI
+def test_cli_trace_renders_waterfall_from_events_file(tmp_path, capsys):
+    from repro.__main__ import main
+    from repro.obs.events import EventLog
+
+    trace = "ab" * 8
+    path = tmp_path / "events.jsonl"
+    log = EventLog(capacity=64, path=path)
+    log.emit(
+        "span", trace=trace, span="1-1", parent=None,
+        name="root", start=1.0, dur=0.01, status="ok",
+    )
+    log.emit(
+        "span", trace=trace, span="1-2", parent="1-1",
+        name="child", start=1.001, dur=0.002, status="ok",
+    )
+    log.close()
+    assert main(["trace", trace, "--events", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith(f"trace {trace}")
+    assert "*root" in out and "child" in out
+
+
+def test_cli_trace_falls_back_to_the_in_memory_ring(
+    event_log, monkeypatch, capsys
+):
+    from repro.__main__ import main
+
+    monkeypatch.delenv("REPRO_EVENTS_FILE", raising=False)
+    with Client.local(seed=0) as client:
+        with Trace.start() as trace:
+            client.submit(SPEC)
+    assert main(["trace", trace.trace_id]) == 0
+    out = capsys.readouterr().out
+    assert "client.submit" in out and "llm.call" in out
+
+
+def test_cli_trace_unreadable_events_file_fails_cleanly(tmp_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["trace", "ab" * 8, "--events", str(tmp_path / "gone.jsonl")]) == 1
+    assert "cannot read event log" in capsys.readouterr().err

@@ -60,6 +60,19 @@ def test_local_client_stats_shows_engine_and_batcher_activity():
         assert histograms["batcher.queue_wait"][key] >= 0
 
 
+def test_client_stats_reset_zeroes_the_next_snapshot():
+    with Client.local(seed=0) as client:
+        client.submit_many([SPEC, SPEC])
+        before = client.stats(reset=True)
+        assert before["metrics"]["counters"].get("batcher.requests", 0) > 0
+        after = client.stats()
+    counters = after["metrics"]["counters"]
+    # The reset zeroed the registry *after* the first snapshot was taken, so
+    # the second one reports only what happened since (nothing engine-side).
+    assert counters.get("batcher.requests", 0) == 0
+    assert sum(v for k, v in counters.items() if k.startswith("engine.tasks.")) == 0
+
+
 def test_stats_prefix_filters_the_metrics_section():
     with Client.local(seed=0) as client:
         client.submit(SPEC)
