@@ -54,6 +54,13 @@ CAPPED_METRICS: dict[str, list[tuple[str, str, float]]] = {
             1.10,
         )
     ],
+    "tenancy": [
+        (
+            "p99_degradation",
+            "well-behaved tenant p99 under a 20x flood (abuse / baseline)",
+            2.0,
+        )
+    ],
 }
 
 

@@ -28,14 +28,20 @@ Commands
     ``--max-inflight`` / ``--max-queue-depth`` admission control sheds
     excess load with structured ``overloaded`` errors, and
     ``--stats-port N`` opens a side channel that answers one JSON metrics
-    snapshot per connection (readable even under overload).
+    snapshot per connection (readable even under overload).  With
+    ``--tenant NAME[,weight=W][,rate=R][,burst=B][,max_inflight=M]``
+    (repeatable) and/or ``--tenants-file FILE`` (a JSON object of the same
+    per-tenant keys) the front door enforces per-tenant token-bucket rate
+    limits and inflight caps (structured ``rate_limited`` errors) and
+    schedules admitted work weighted-fair across tenants.
 ``stats``
     Fetch and pretty-print the observability snapshot of a running service:
     either through the main port (a ``{"type": "stats"}`` request over the
     line protocol) or from a ``--stats-port`` side channel.  With
     ``--format prom`` the snapshot is rendered as Prometheus text-format
     exposition (fetched as ``GET /metrics`` when a ``--stats-port`` is
-    given); ``--reset`` zeroes the counters after the snapshot.
+    given); ``--reset`` zeroes the counters after the snapshot;
+    ``--tenant NAME`` narrows it to one tenant (main-port mode only).
 ``trace``
     Reconstruct the span waterfall of one trace from a structured event log
     (``--events`` file, default ``$REPRO_EVENTS_FILE``): per-span offsets,
@@ -292,7 +298,32 @@ def _serve_frontend(
     return 0
 
 
+def _tenants_from_args(args: argparse.Namespace):
+    """Build the tenant registry from --tenants-file and --tenant flags.
+
+    Returns ``None`` (tenancy off) when neither flag was given.  Inline
+    ``--tenant`` specs override same-named entries from the file.
+    """
+    inline = getattr(args, "tenants", None) or []
+    path = getattr(args, "tenants_file", None)
+    if not inline and path is None:
+        return None
+    from .tenancy import TenantConfig, TenantRegistry
+
+    registry = (
+        TenantRegistry.from_file(path) if path is not None else TenantRegistry()
+    )
+    for spec in inline:
+        registry.register(TenantConfig.parse_inline(spec))
+    return registry
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        tenants = _tenants_from_args(args)
+    except (ValueError, OSError) as exc:
+        print(f"bad tenant configuration: {exc}", file=sys.stderr)
+        return 2
     if args.events_file is not None:
         from .obs import configure_default_event_log
 
@@ -311,6 +342,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 batch_size=args.batch_size,
                 max_inflight=args.max_inflight,
                 max_queue_depth=args.max_queue_depth,
+                tenants=tenants,
             )
         else:
             router = Router.local(
@@ -321,6 +353,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 batch_size=args.batch_size,
                 max_inflight=args.max_inflight,
                 max_queue_depth=args.max_queue_depth,
+                tenants=tenants,
             )
         print(
             f"cluster: {args.workers} {args.cluster_mode} workers", file=sys.stderr
@@ -345,6 +378,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_inflight=args.max_inflight,
         max_queue_depth=args.max_queue_depth,
+        tenants=tenants,
     )
     return _serve_frontend(
         service.handle_batch,
@@ -411,7 +445,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         try:
             snapshot = Client.remote(
                 args.host, args.port, timeout=args.timeout
-            ).stats(prefix=args.prefix, reset=args.reset)
+            ).stats(prefix=args.prefix, tenant=args.tenant, reset=args.reset)
         except ApiError as exc:
             # TransportError (unreachable) and structured error responses
             # (e.g. an older service without the stats type) alike.
@@ -503,6 +537,22 @@ def main(argv: list[str] | None = None) -> int:
         help="append structured span/shed/death events to this JSONL file "
         "(subprocess cluster workers inherit it via REPRO_EVENTS_FILE)",
     )
+    serve_parser.add_argument(
+        "--tenant",
+        action="append",
+        dest="tenants",
+        default=None,
+        metavar="NAME[,weight=W][,rate=R][,burst=B][,max_inflight=M]",
+        help="register a tenant inline (repeatable); overrides same-named "
+        "--tenants-file entries",
+    )
+    serve_parser.add_argument(
+        "--tenants-file",
+        default=None,
+        help="JSON file of tenant configs: "
+        '{"name": {"weight": ..., "rate": ..., "burst": ..., '
+        '"max_inflight": ...}, ...}',
+    )
     _add_cluster_flags(serve_parser)
     serve_parser.set_defaults(fn=_cmd_serve)
 
@@ -531,6 +581,12 @@ def main(argv: list[str] | None = None) -> int:
         "--reset",
         action="store_true",
         help="zero the service's metrics after taking the snapshot "
+        "(main-port mode only)",
+    )
+    stats_parser.add_argument(
+        "--tenant",
+        default=None,
+        help="narrow the snapshot to one tenant's metrics and state "
         "(main-port mode only)",
     )
     stats_parser.set_defaults(fn=_cmd_stats)

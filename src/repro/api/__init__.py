@@ -32,6 +32,7 @@ from .errors import (
     InvalidRequestError,
     OverloadedError,
     ProtocolError,
+    RateLimitedError,
     TaskFailedError,
     TransportError,
     UnknownTaskTypeError,
@@ -81,6 +82,7 @@ __all__ = [
     "ParsedRequest",
     "PipelineSpec",
     "ProtocolError",
+    "RateLimitedError",
     "SPEC_TYPES",
     "SUPPORTED_VERSIONS",
     "StatsSpec",

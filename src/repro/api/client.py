@@ -47,6 +47,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..llm.base import LanguageModel
     from ..serving.engine import ExecutionEngine
     from ..serving.service import ServingService
+    from ..tenancy import TenantRegistry
+
+#: Error codes ``retries=`` may resubmit: the shed responses that carry a
+#: ``retry_after`` hint and promise the same request can succeed later.
+_RETRYABLE_CODES = frozenset({"overloaded", "rate_limited"})
+
+#: Bounds on the honored ``retry_after`` hint (seconds): a floor so a zero
+#: hint still backs off, a cap so a pathological hint cannot hang a caller.
+_RETRY_FLOOR = 0.01
+_RETRY_CAP = 5.0
 
 
 class Client:
@@ -72,6 +82,7 @@ class Client:
         cache_dir: str | None = None,
         batch_size: int = 8,
         workers: int = 8,
+        tenants: "TenantRegistry | None" = None,
     ) -> "Client":
         """A client over an in-process pipeline + execution engine.
 
@@ -91,6 +102,8 @@ class Client:
             cache_dir: Directory of a persistent completion cache.
             batch_size: Micro-batch size of the fresh engine.
             workers: Concurrent tasks in flight in the fresh engine.
+            tenants: Per-tenant scheduling/rate-limit configuration (see
+                :mod:`repro.tenancy`); ``None`` leaves tenancy off.
 
         Returns:
             A :class:`Client` whose submissions run on the local engine.
@@ -121,14 +134,14 @@ class Client:
                 engine = ExecutionEngine(
                     EngineConfig(max_batch_size=batch_size, workers=workers)
                 )
-            service = ServingService(pipeline, engine)
+            service = ServingService(pipeline, engine, tenants=tenants)
         elif llm is not None:
             pipeline = UniDM(llm, config or UniDMConfig.full(seed=seed))
             if engine is None:
                 engine = ExecutionEngine(
                     EngineConfig(max_batch_size=batch_size, workers=workers)
                 )
-            service = ServingService(pipeline, engine)
+            service = ServingService(pipeline, engine, tenants=tenants)
         else:
             service = build_service(
                 model=model,
@@ -137,6 +150,7 @@ class Client:
                 batch_size=batch_size,
                 workers=workers,
                 knowledge=knowledge,
+                tenants=tenants,
             )
             if config is not None:
                 service.pipeline = UniDM(service.pipeline.llm, config)
@@ -177,6 +191,7 @@ class Client:
         llm_factory: Any = None,
         config: "UniDMConfig | None" = None,
         router: "Router | None" = None,
+        tenants: "TenantRegistry | None" = None,
     ) -> "Client":
         """A client over a sharded multi-worker cluster (see ``repro.cluster``).
 
@@ -204,6 +219,8 @@ class Client:
             config: Pipeline configuration override for thread workers.
             router: A ready :class:`~repro.cluster.router.Router` to wrap
                 (every other argument is then ignored).
+            tenants: Per-tenant scheduling/rate-limit configuration
+                enforced at the router (see :mod:`repro.tenancy`).
 
         Returns:
             A :class:`Client` whose submissions fan out across the cluster.
@@ -236,6 +253,7 @@ class Client:
                     queue_depth=queue_depth,
                     llm_factory=llm_factory,
                     config=config,
+                    tenants=tenants,
                 )
             elif mode == "process":
                 router = Router.spawn(
@@ -245,6 +263,7 @@ class Client:
                     cache_dir=cache_dir,
                     batch_size=batch_size,
                     engine_workers=engine_workers,
+                    tenants=tenants,
                 )
             else:
                 raise ValueError(
@@ -253,17 +272,33 @@ class Client:
         return cls(_ClusterBackend(router))
 
     # -------------------------------------------------------------- spec path
-    def submit(self, spec: TaskSpec, *, priority: int = 0) -> TaskResult:
+    def submit(
+        self,
+        spec: TaskSpec,
+        *,
+        priority: int = 0,
+        tenant: str | None = None,
+        retries: int = 0,
+    ) -> TaskResult:
         """Execute one task spec; raise on failure.
 
         Raises ``OverloadedError`` (with ``retry_after``) when admission
-        control shed the request, ``TaskFailedError`` for any other error
-        response.
+        control shed the request, ``RateLimitedError`` when the request's
+        ``tenant`` exceeded its limits, ``TaskFailedError`` for any other
+        error response.  ``retries`` bounds automatic resubmission of those
+        shed responses (see :meth:`submit_many`).
         """
-        return self.submit_many([spec], priority=priority)[0].unwrap()
+        return self.submit_many(
+            [spec], priority=priority, tenant=tenant, retries=retries
+        )[0].unwrap()
 
     def submit_many(
-        self, specs: Sequence[TaskSpec], *, priority: int = 0
+        self,
+        specs: Sequence[TaskSpec],
+        *,
+        priority: int = 0,
+        tenant: str | None = None,
+        retries: int = 0,
     ) -> list[TaskResult]:
         """Execute a batch of specs; responses keep submission order.
 
@@ -272,12 +307,59 @@ class Client:
         Every v2 envelope is stamped with a trace id (the active
         :class:`~repro.obs.Trace` context's id, or a fresh one per request)
         and, when nonzero, ``priority`` — honored at dequeue by admission-
-        controlled services.  The whole call is timed under a
+        controlled services.  ``tenant`` rides the envelope too, so a
+        tenancy-configured front door accounts, rate-limits and
+        fair-schedules the batch under that tenant (see
+        :mod:`repro.tenancy`).  The whole call is timed under a
         ``client.submit`` span; inside a :class:`~repro.obs.Trace` context
         it becomes the root of the request's distributed span tree.
+
+        ``retries`` (opt-in, default 0) bounds automatic resubmission of
+        items shed with ``overloaded`` or ``rate_limited``: after each
+        round the client sleeps the largest ``retry_after`` hint among the
+        shed items (floored/capped client-side) and resubmits only those.
+        Items still shed after ``retries`` rounds keep their error.
         """
+        results = self._submit_once(specs, priority, tenant)
+        for _ in range(retries):
+            positions = _retryable_positions(results)
+            if not positions:
+                break
+            time.sleep(_backoff_hint(results, positions))
+            retried = self._submit_once(
+                [specs[position] for position in positions], priority, tenant
+            )
+            for position, result in zip(positions, retried):
+                results[position] = result
+        return results
+
+    async def asubmit_many(
+        self,
+        specs: Sequence[TaskSpec],
+        *,
+        priority: int = 0,
+        tenant: str | None = None,
+        retries: int = 0,
+    ) -> list[TaskResult]:
+        """Async flavour of :meth:`submit_many` (same ordering/error rules)."""
+        results = await self._asubmit_once(specs, priority, tenant)
+        for _ in range(retries):
+            positions = _retryable_positions(results)
+            if not positions:
+                break
+            await asyncio.sleep(_backoff_hint(results, positions))
+            retried = await self._asubmit_once(
+                [specs[position] for position in positions], priority, tenant
+            )
+            for position, result in zip(positions, retried):
+                results[position] = result
+        return results
+
+    def _submit_once(
+        self, specs: Sequence[TaskSpec], priority: int, tenant: str | None
+    ) -> list[TaskResult]:
         with span("client.submit", specs=len(specs)):
-            requests, ids = self._encode(specs, priority=priority)
+            requests, ids = self._encode(specs, priority=priority, tenant=tenant)
             if not requests:
                 return []
             self._last_trace = requests[0].get("trace")
@@ -286,12 +368,11 @@ class Client:
             elapsed = time.perf_counter() - started
             return self._decode(responses, ids, elapsed)
 
-    async def asubmit_many(
-        self, specs: Sequence[TaskSpec], *, priority: int = 0
+    async def _asubmit_once(
+        self, specs: Sequence[TaskSpec], priority: int, tenant: str | None
     ) -> list[TaskResult]:
-        """Async flavour of :meth:`submit_many` (same ordering/error rules)."""
         with span("client.submit", specs=len(specs)):
-            requests, ids = self._encode(specs, priority=priority)
+            requests, ids = self._encode(specs, priority=priority, tenant=tenant)
             if not requests:
                 return []
             self._last_trace = requests[0].get("trace")
@@ -320,7 +401,9 @@ class Client:
             trace = None
         return get_default_event_log().events(trace=trace, kind=kind)
 
-    def stats(self, prefix: str = "", *, reset: bool = False) -> Any:
+    def stats(
+        self, prefix: str = "", *, tenant: str | None = None, reset: bool = False
+    ) -> Any:
         """The serving front-end's observability snapshot.
 
         Submits a :class:`~repro.api.stats_spec.StatsSpec` through the same
@@ -333,13 +416,18 @@ class Client:
         Args:
             prefix: Restrict the ``metrics`` section to names under this
                 dotted prefix (e.g. ``"batcher"``).
+            tenant: Restrict the snapshot to one tenant — the ``metrics``
+                section narrows to ``tenant.<resolved>.*`` and the
+                ``tenancy`` section reports only that tenant's state.
             reset: Zero every metric (in place) after the snapshot, so the
                 next one describes only what happened since — benchmark
                 isolation without snapshot subtraction.
         """
         from .stats_spec import StatsSpec
 
-        return self.submit(StatsSpec(prefix=prefix, reset=reset)).answer
+        return self.submit(
+            StatsSpec(prefix=prefix, tenant=tenant or "", reset=reset)
+        ).answer
 
     # -------------------------------------------------------------- task path
     def run_task(self, task: "Task") -> "ManipulationResult":
@@ -388,7 +476,7 @@ class Client:
 
     # -------------------------------------------------------------- internals
     def _encode(
-        self, specs: Sequence[TaskSpec], priority: int = 0
+        self, specs: Sequence[TaskSpec], priority: int = 0, tenant: str | None = None
     ) -> tuple[list[dict], list[int]]:
         requests, ids = [], []
         for spec in specs:
@@ -406,6 +494,7 @@ class Client:
                     PROTOCOL_VERSION,
                     trace=Trace.current_id() or new_trace_id(),
                     priority=priority,
+                    tenant=tenant,
                 )
             )
             ids.append(request_id)
@@ -431,6 +520,24 @@ class Client:
             result.elapsed = per_item
             ordered.append(result)
         return ordered
+
+
+# -------------------------------------------------------------------- retries
+def _retryable_positions(results: "list[TaskResult]") -> list[int]:
+    """Positions whose error is a shed (`overloaded`/`rate_limited`) response."""
+    return [
+        position
+        for position, result in enumerate(results)
+        if result.error is not None and result.error.code in _RETRYABLE_CODES
+    ]
+
+
+def _backoff_hint(results: "list[TaskResult]", positions: list[int]) -> float:
+    """The sleep honoring the largest ``retry_after`` among shed items."""
+    hint = max(
+        (results[position].error.retry_after or 0.0) for position in positions
+    )
+    return min(max(hint, _RETRY_FLOOR), _RETRY_CAP)
 
 
 # ------------------------------------------------------------------- backends

@@ -154,6 +154,19 @@ class OverloadedError(ApiError):
     code = "overloaded"
 
 
+class RateLimitedError(ApiError):
+    """A per-tenant limit shed the request; retry after ``retry_after`` s.
+
+    The tenancy counterpart of :class:`OverloadedError`: the request was
+    rejected by its tenant's token bucket or ``max_inflight`` cap, not by
+    global capacity (see :class:`repro.tenancy.TenancyController`).
+    ``details`` carries the tenant name, the violated limit and the
+    ``reason`` (``"rate"`` or ``"inflight"``).
+    """
+
+    code = "rate_limited"
+
+
 #: Every ``error.code`` value a v2 response can carry, with the condition it
 #: reports.  This is the registry ``scripts/gen_protocol_docs.py`` renders
 #: into ``docs/wire-protocol.md`` — add new codes here, not just inline.
@@ -164,6 +177,7 @@ ERROR_CODES: dict[str, str] = {
     "bad_json": "A request line never parsed as JSON (reported in position).",
     "pipeline_failed": "A `pipeline` request's plan failed mid-execution; the message names the stage.",
     "overloaded": "Admission control shed the request (`max_inflight`/`max_queue_depth` exceeded); `retry_after` hints the back-off in seconds and `details` carries the controller state at shed time (`queue_depth`, `inflight`, `pending`, `capacity`).",
+    "rate_limited": "The request's tenant exceeded its token-bucket rate or `max_inflight` cap; `retry_after` hints the back-off in seconds and `details` carries the tenant state at shed time (`tenant`, `reason` — `rate` or `inflight` —, `rate`, `burst`, `max_inflight`, `inflight`).",
     "task_failed": "Client-side marker for an error response surfaced through `submit`.",
     "transport_error": "Client-side: the service was unreachable or answered garbage.",
     "error": "Catch-all used when a v1 bare-string error is lifted into the structured shape.",

@@ -28,7 +28,17 @@ Three optional v2 envelope keys carry the observability layer:
   when admitted batches contend for the engine (see
   :class:`repro.obs.PriorityLock`).
 
-All three are ignored by v1 and by older v2 peers — unknown envelope keys
+A fourth optional key carries multi-tenancy (see :mod:`repro.tenancy`):
+
+* ``"tenant"`` — the tenant this request is accounted to.  A front door
+  configured with a :class:`~repro.tenancy.TenantRegistry` enforces that
+  tenant's token bucket and inflight cap at admission (shedding with a
+  structured ``rate_limited`` error) and schedules admitted work
+  weighted-fair across tenants; the name is echoed on the response
+  envelope and surfaces as ``TaskResult.tenant``.  Unknown names resolve
+  to the catch-all ``default`` tenant.
+
+All four are ignored by v1 and by older v2 peers — unknown envelope keys
 have always been legal.
 """
 
@@ -61,6 +71,8 @@ class ParsedRequest:
     priority: int = 0
     #: Caller's span id on the v2 envelope — parent of this hop's span.
     span: str | None = None
+    #: Tenant claimed by the v2 envelope (``None`` when absent / v1).
+    tenant: str | None = None
 
 
 def request_version(payload: Any) -> int:
@@ -95,6 +107,11 @@ def parse_request(payload: Any) -> ParsedRequest:
         trace = payload.get("trace")
         priority = payload.get("priority", 0)
         span = payload.get("span")
+        tenant = payload.get("tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            raise ProtocolError(
+                "'tenant' must be a string naming the tenant", field="tenant"
+            )
         return ParsedRequest(
             spec=spec_from_request(task),
             id=request_id,
@@ -102,6 +119,7 @@ def parse_request(payload: Any) -> ParsedRequest:
             trace=str(trace) if trace is not None else None,
             priority=int(priority) if isinstance(priority, (int, float)) else 0,
             span=str(span) if span is not None else None,
+            tenant=tenant or None,
         )
     return ParsedRequest(spec=spec_from_request(payload), id=request_id, version=1)
 
@@ -114,12 +132,14 @@ def encode_request(
     trace: str | None = None,
     priority: int = 0,
     span: str | None = None,
+    tenant: str | None = None,
 ) -> dict[str, Any]:
     """Serialize a spec into a raw request object of the given generation.
 
     ``trace`` defaults to the active :class:`~repro.obs.Trace` context's id
     and ``span`` to the active :class:`~repro.obs.span.Span`'s id when one
-    is bound (v2 only); ``priority`` is attached only when nonzero.
+    is bound (v2 only); ``priority`` is attached only when nonzero and
+    ``tenant`` only when set.
     """
     if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(f"unsupported protocol version {version!r}", field="v")
@@ -149,11 +169,18 @@ def encode_request(
         envelope["span"] = span
     if priority:
         envelope["priority"] = int(priority)
+    if tenant:
+        envelope["tenant"] = tenant
     return envelope
 
 
 def encode_success(
-    result: TaskResult, request_id: Any, version: int, *, trace: str | None = None
+    result: TaskResult,
+    request_id: Any,
+    version: int,
+    *,
+    trace: str | None = None,
+    tenant: str | None = None,
 ) -> dict[str, Any]:
     """Serialize a successful result in the caller's protocol generation."""
     if version >= 2:
@@ -165,6 +192,8 @@ def encode_success(
         }
         if trace is not None:
             envelope["trace"] = trace
+        if tenant is not None:
+            envelope["tenant"] = tenant
         return envelope
     return {
         "id": request_id,
@@ -177,7 +206,12 @@ def encode_success(
 
 
 def encode_error(
-    error: ErrorInfo, request_id: Any, version: int, *, trace: str | None = None
+    error: ErrorInfo,
+    request_id: Any,
+    version: int,
+    *,
+    trace: str | None = None,
+    tenant: str | None = None,
 ) -> dict[str, Any]:
     """Serialize a failure in the caller's protocol generation."""
     if version >= 2:
@@ -189,6 +223,8 @@ def encode_error(
         }
         if trace is not None:
             envelope["trace"] = trace
+        if tenant is not None:
+            envelope["tenant"] = tenant
         return envelope
     return {"id": request_id, "ok": False, "error": error.message}
 
@@ -200,16 +236,20 @@ def decode_response(payload: Any) -> TaskResult:
     request_id = payload.get("id")
     trace = payload.get("trace")
     trace_id = str(trace) if trace is not None else None
+    tenant = payload.get("tenant")
+    tenant_name = str(tenant) if tenant is not None else None
     if not payload.get("ok", False):
         return TaskResult(
             answer=None,
             id=request_id,
             trace_id=trace_id,
+            tenant=tenant_name,
             error=ErrorInfo.from_payload(payload.get("error", "unknown error")),
         )
     if "result" in payload:  # v2
         result = TaskResult.from_payload(payload["result"], request_id=request_id)
         result.trace_id = trace_id
+        result.tenant = tenant_name
         return result
     return TaskResult(  # v1 flat success
         answer=payload.get("answer"),

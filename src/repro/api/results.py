@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping, TYPE_CHECKING
 
-from .errors import ErrorInfo, OverloadedError, TaskFailedError
+from .errors import ErrorInfo, OverloadedError, RateLimitedError, TaskFailedError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.types import ManipulationResult, PromptTrace
@@ -36,6 +36,8 @@ class TaskResult:
     id: Any = None
     #: Trace id echoed on the response envelope (see :mod:`repro.obs.trace`).
     trace_id: str | None = None
+    #: Tenant echoed on the response envelope (see :mod:`repro.tenancy`).
+    tenant: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -48,11 +50,15 @@ class TaskResult:
             OverloadedError: When admission control shed the request
                 (``error.code == "overloaded"``; ``retry_after`` carries
                 the back-off hint).
+            RateLimitedError: When the request's tenant exceeded its rate
+                or inflight limit (``error.code == "rate_limited"``).
             TaskFailedError: For every other error response.
         """
         if self.error is not None:
             if self.error.code == OverloadedError.code:
                 raise OverloadedError.from_info(self.error)
+            if self.error.code == RateLimitedError.code:
+                raise RateLimitedError.from_info(self.error)
             raise TaskFailedError.from_info(self.error)
         return self
 

@@ -58,7 +58,7 @@ def spec_from_request(payload: Mapping[str, Any]) -> "TaskSpec":
     """Build (and validate) the spec named by ``payload['type']``.
 
     This is the single dispatch point for every entry surface: the JSON
-    service, the client facade and the compatibility ``build_task`` shim.
+    service and the client facade.
     """
     if not isinstance(payload, Mapping):
         raise InvalidRequestError("request must be a JSON object")

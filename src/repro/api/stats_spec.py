@@ -42,6 +42,11 @@ class StatsSpec(TaskSpec):
     #: snapshot describes only what happened since — benchmark isolation.
     reset: bool = False
 
+    #: Restrict the snapshot to one tenant: the ``metrics`` section narrows
+    #: to ``tenant.<resolved>.*`` and the ``tenancy`` section reports only
+    #: that tenant's runtime state.  Empty means every tenant.
+    tenant: str = ""
+
     def validate(self) -> None:
         if not isinstance(self.prefix, str):
             raise InvalidRequestError(
@@ -52,6 +57,11 @@ class StatsSpec(TaskSpec):
             raise InvalidRequestError(
                 "'reset' must be a boolean",
                 field="reset",
+            )
+        if not isinstance(self.tenant, str):
+            raise InvalidRequestError(
+                "'tenant' must be a string naming the tenant",
+                field="tenant",
             )
 
     def to_task(self):

@@ -61,6 +61,7 @@ from ..obs.events import emit_event
 from ..obs.export import get_default_exemplars
 from ..obs.metrics import MetricsRegistry, get_default_registry
 from ..obs.span import Span, remote_span, span
+from ..tenancy import TenancyController, TenantRegistry
 from .hashing import HashRing, spec_key
 from .stats import ClusterStats, WorkerStats
 from .workers import ClusterError, SubprocessWorker, ThreadWorker, Worker, WorkerDeadError
@@ -103,6 +104,7 @@ class Router:
         max_queue_depth: int | None = None,
         retry_after: float = 0.05,
         metrics: MetricsRegistry | None = None,
+        tenants: TenantRegistry | None = None,
     ):
         if not workers:
             raise ValueError("a cluster needs at least one worker")
@@ -136,6 +138,15 @@ class Router:
             name="router.admission",
             metrics=self._metrics,
         )
+        # Tenancy is enforced once, here at the front door; worker services
+        # run tenancy-free so a spec is never double-charged.  The claimed
+        # tenant still rides every worker-bound envelope (with its weight)
+        # so thread workers dequeue weighted-fair across tenants.
+        self.tenancy = (
+            TenancyController(tenants, retry_after=retry_after, metrics=self._metrics)
+            if tenants is not None
+            else None
+        )
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -155,6 +166,7 @@ class Router:
         replicas: int = 64,
         max_inflight: int | None = None,
         max_queue_depth: int | None = None,
+        tenants: TenantRegistry | None = None,
     ) -> "Router":
         """A router over ``n_workers`` in-process thread workers.
 
@@ -195,6 +207,7 @@ class Router:
             replicas=replicas,
             max_inflight=max_inflight,
             max_queue_depth=max_queue_depth,
+            tenants=tenants,
         )
 
     @classmethod
@@ -211,6 +224,7 @@ class Router:
         replicas: int = 64,
         max_inflight: int | None = None,
         max_queue_depth: int | None = None,
+        tenants: TenantRegistry | None = None,
     ) -> "Router":
         """A router over ``n_workers`` spawned ``repro serve`` subprocesses.
 
@@ -248,6 +262,7 @@ class Router:
             replicas=replicas,
             max_inflight=max_inflight,
             max_queue_depth=max_queue_depth,
+            tenants=tenants,
         )
 
     # ----------------------------------------------------------------- routing
@@ -262,6 +277,7 @@ class Router:
         priority: int = 0,
         trace: str | None = None,
         span_parent: str | None = None,
+        tenant: str | None = None,
     ) -> list[TaskResult]:
         """Execute specs across the cluster; results keep submission order.
 
@@ -272,9 +288,12 @@ class Router:
         ``result.error`` (like :meth:`repro.api.Client.submit_many`).
 
         ``stats`` specs are answered from the router itself (aggregated
-        snapshot), before admission control.  When admission control is on
-        and the batch would exceed the pending bound, every spec of the
-        batch comes back with an ``overloaded`` error instead of queueing.
+        snapshot), before admission control.  When tenancy is on, the whole
+        call is charged against ``tenant``'s token bucket and inflight cap
+        first — excess comes back as per-spec ``rate_limited`` errors — and
+        then global admission applies: when the batch would exceed the
+        pending bound, every spec of the batch comes back with an
+        ``overloaded`` error instead of queueing.
         ``trace`` (one id for the batch) is forwarded on every worker-bound
         envelope so the id survives the extra hop; ``span_parent`` (the
         caller's span id) parents the router's ``router.submit`` span so the
@@ -293,38 +312,69 @@ class Router:
         for index, spec in enumerate(spec_list):
             if isinstance(spec, StatsSpec):
                 results[index] = TaskResult(
-                    answer=self.stats_snapshot(spec.prefix, reset=spec.reset),
+                    answer=self.stats_snapshot(
+                        spec.prefix, reset=spec.reset, tenant=spec.tenant
+                    ),
                     task_type="stats",
+                    tenant=tenant,
                 )
             else:
                 work.append((index, spec))
         if work:
-            if not self.admission.try_acquire(len(work)):
-                info = overloaded_error(self.admission)
-                emit_event(
-                    "admission.shed",
-                    trace=trace,
-                    name=self.admission.name,
-                    requests=len(work),
-                    **(info.details or {}),
-                )
-                for index, _ in work:
-                    results[index] = TaskResult(answer=None, error=info)
-            else:
-                try:
-                    with remote_span(
-                        "router.submit",
-                        trace_id=trace,
-                        parent_id=span_parent,
-                        specs=len(work),
-                    ):
-                        answered = self._dispatch(
-                            [spec for _, spec in work], priority=priority, trace=trace
+            resolved = (
+                self.tenancy.resolve(tenant) if self.tenancy is not None else None
+            )
+            if self.tenancy is not None:
+                info = self.tenancy.admit(resolved, len(work))
+                if info is not None:
+                    emit_event("tenancy.shed", trace=trace, **(info.details or {}))
+                    for index, _ in work:
+                        results[index] = TaskResult(
+                            answer=None, error=info, tenant=tenant
                         )
-                finally:
-                    self.admission.release(len(work))
-                for (index, _), result in zip(work, answered):
-                    results[index] = result
+                    with self._lock:
+                        self.requests_served += len(spec_list)
+                    return [result for result in results if result is not None]
+            started = time.perf_counter()
+            try:
+                if not self.admission.try_acquire(len(work)):
+                    info = overloaded_error(self.admission)
+                    emit_event(
+                        "admission.shed",
+                        trace=trace,
+                        name=self.admission.name,
+                        requests=len(work),
+                        **(info.details or {}),
+                    )
+                    for index, _ in work:
+                        results[index] = TaskResult(answer=None, error=info, tenant=tenant)
+                else:
+                    try:
+                        with remote_span(
+                            "router.submit",
+                            trace_id=trace,
+                            parent_id=span_parent,
+                            specs=len(work),
+                            tenant=resolved,
+                        ):
+                            answered = self._dispatch(
+                                [spec for _, spec in work],
+                                priority=priority,
+                                trace=trace,
+                                tenant=resolved,
+                            )
+                    finally:
+                        self.admission.release(len(work))
+                    for (index, _), result in zip(work, answered):
+                        if result.tenant is None:
+                            result.tenant = tenant
+                        results[index] = result
+            finally:
+                if self.tenancy is not None:
+                    self.tenancy.release(resolved, len(work))
+                    self.tenancy.observe_latency(
+                        resolved, time.perf_counter() - started, len(work)
+                    )
         with self._lock:
             # Top-level requests only: the nested wave submissions a
             # pipeline plan makes through _dispatch do not inflate this.
@@ -337,6 +387,7 @@ class Router:
         *,
         priority: int = 0,
         trace: str | None = None,
+        tenant: str | None = None,
     ) -> list[TaskResult]:
         if self._closed:
             raise ClusterError("router is closed")
@@ -379,6 +430,7 @@ class Router:
                         priority,
                         trace,
                         parent_span,
+                        tenant,
                     )
                     for worker_id, group in groups.items()
                 }
@@ -406,7 +458,7 @@ class Router:
             inflight.dec(n_tracked)
 
         for index, spec in plans:
-            results[index] = self._run_plan(spec)
+            results[index] = self._run_plan(spec, tenant=tenant)
         return [result for result in results if result is not None]
 
     def _submit_group(
@@ -416,6 +468,7 @@ class Router:
         priority: int = 0,
         trace: str | None = None,
         parent: "Span | None" = None,
+        tenant: str | None = None,
     ) -> list[TaskResult]:
         worker = self.workers[worker_id]
         # Runs on a pool thread: the dispatch span is re-rooted from the
@@ -432,6 +485,11 @@ class Router:
             worker=worker_id,
             specs=len(group),
         ) as dispatch_span:
+            weight = (
+                self.tenancy.weight(tenant)
+                if self.tenancy is not None and tenant is not None
+                else 1.0
+            )
             requests = [
                 encode_request(
                     spec,
@@ -442,10 +500,16 @@ class Router:
                     span=(
                         dispatch_span.span_id if dispatch_span is not None else None
                     ),
+                    tenant=tenant,
                 )
                 for local_id, (_, spec) in enumerate(group)
             ]
-            responses = worker.submit(requests, priority=priority)
+            responses = worker.submit(
+                requests,
+                priority=priority,
+                tenant=tenant if tenant is not None else "default",
+                weight=weight,
+            )
             if len(responses) != len(requests):
                 raise WorkerDeadError(
                     f"worker {worker_id} answered {len(responses)} responses "
@@ -457,10 +521,16 @@ class Router:
         get_default_exemplars().note(f"router.routed.{worker_id}", wire_trace)
         return [decode_response(response) for response in responses]
 
-    def _run_plan(self, spec: PipelineSpec) -> TaskResult:
+    def _run_plan(self, spec: PipelineSpec, tenant: str | None = None) -> TaskResult:
         from ..serving.service import run_pipeline_spec
 
-        return run_pipeline_spec(spec, self._dispatch)
+        def submit(specs: Sequence[TaskSpec]) -> list[TaskResult]:
+            # Wave submissions keep the plan's tenant so worker-side
+            # weighted-fair queues see the right weight (no re-admission:
+            # the plan was charged once at the front door).
+            return self._dispatch(specs, tenant=tenant)
+
+        return run_pipeline_spec(spec, submit)
 
     # -------------------------------------------------------------- wire front
     def handle_batch(self, requests: Sequence[Any]) -> list[dict]:
@@ -475,35 +545,51 @@ class Router:
         from ..serving.service import parse_batch
 
         parsed_entries, responses = parse_batch(requests)
-        if parsed_entries:
-            specs = [parsed.spec for _, parsed in parsed_entries]
-            priority = max(parsed.priority for _, parsed in parsed_entries)
+        # Wire batches can mix tenants; submit_specs charges one tenant per
+        # call, so group by claimed tenant (everything is one "" group with
+        # tenancy off — the pre-tenancy behaviour, bit for bit).
+        groups: dict[str, list] = {}
+        for position, parsed in parsed_entries:
+            claimed = parsed.tenant or "" if self.tenancy is not None else ""
+            groups.setdefault(claimed, []).append((position, parsed))
+        for claimed, group in groups.items():
+            specs = [parsed.spec for _, parsed in group]
+            priority = max(parsed.priority for _, parsed in group)
             # Forward the batch's trace id to the workers when it is
             # unambiguous (all requests under one Trace context — the
             # common client batch); mixed-trace batches forward nothing.
             # The caller's span id parents this hop under the same condition.
-            traces = {parsed.trace for _, parsed in parsed_entries if parsed.trace}
+            traces = {parsed.trace for _, parsed in group if parsed.trace}
             batch_trace = traces.pop() if len(traces) == 1 else None
-            spans = {parsed.span for _, parsed in parsed_entries if parsed.span}
+            spans = {parsed.span for _, parsed in group if parsed.span}
             batch_parent = (
                 spans.pop() if batch_trace is not None and len(spans) == 1 else None
             )
             for (position, parsed), result in zip(
-                parsed_entries,
+                group,
                 self.submit_specs(
                     specs,
                     priority=priority,
                     trace=batch_trace,
                     span_parent=batch_parent,
+                    tenant=claimed or None,
                 ),
             ):
                 if result.error is not None:
                     responses[position] = encode_error(
-                        result.error, parsed.id, parsed.version, trace=parsed.trace
+                        result.error,
+                        parsed.id,
+                        parsed.version,
+                        trace=parsed.trace,
+                        tenant=parsed.tenant,
                     )
                 else:
                     responses[position] = encode_success(
-                        result, parsed.id, parsed.version, trace=parsed.trace
+                        result,
+                        parsed.id,
+                        parsed.version,
+                        trace=parsed.trace,
+                        tenant=parsed.tenant,
                     )
         return [response for response in responses if response is not None]
 
@@ -545,14 +631,20 @@ class Router:
         return self._ring.nodes
 
     # ------------------------------------------------------------------- stats
-    def stats_snapshot(self, prefix: str = "", *, reset: bool = False) -> dict:
+    def stats_snapshot(
+        self, prefix: str = "", *, reset: bool = False, tenant: str = ""
+    ) -> dict:
         """The observability snapshot a ``stats`` request answers with.
 
         Combines the aggregated :class:`ClusterStats` rows with the metric
         registry (batcher/engine/cache counters of every thread worker live
         in the same process registry) and the admission-control state.  With
-        ``reset`` the registry is zeroed in place after the snapshot.
+        ``reset`` the registry is zeroed in place after the snapshot; with
+        ``tenant`` (and tenancy on) the metrics narrow to that tenant's
+        ``tenant.<name>.*`` series and the tenancy section to its state.
         """
+        if tenant and not prefix and self.tenancy is not None:
+            prefix = f"tenant.{self.tenancy.resolve(tenant)}."
         snapshot = {
             "cluster": self.stats().to_payload(),
             "admission": {
@@ -566,6 +658,8 @@ class Router:
             "metrics": self._metrics.snapshot(prefix),
             "exemplars": get_default_exemplars().snapshot(),
         }
+        if self.tenancy is not None:
+            snapshot["tenancy"] = self.tenancy.snapshot(tenant or None)
         if reset:
             self._metrics.reset()
         return snapshot

@@ -22,9 +22,7 @@ killed or crashed — the router's requeue-on-death path keys off it.
 
 from __future__ import annotations
 
-import itertools
 import os
-import queue
 import socket
 import subprocess
 import sys
@@ -35,6 +33,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..obs.metrics import MetricsRegistry, get_default_registry
+from ..tenancy import DEFAULT_TENANT, FairBlockingQueue
 from .stats import WorkerStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -70,11 +69,20 @@ class Worker:
 
     worker_id: str
 
-    def submit(self, requests: "list[dict]", priority: int = 0) -> "list[dict]":
+    def submit(
+        self,
+        requests: "list[dict]",
+        priority: int = 0,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        weight: float = 1.0,
+    ) -> "list[dict]":
         """Answer one wire-request batch in order.
 
         ``priority`` (higher first) is honored at dequeue when batches
-        contend for the worker; implementations may ignore it.
+        contend for the worker; ``tenant``/``weight`` let the router's
+        weighted-fair scheduling extend to per-worker queues.
+        Implementations may ignore all three.
 
         Raises
         ------
@@ -131,11 +139,11 @@ class ThreadWorker(Worker):
         self.queue_depth = queue_depth
         metrics = metrics or get_default_registry()
         self._m_depth = metrics.gauge(f"worker.queue_depth.{worker_id}")
-        # Priority queue: entries sort by (-priority, arrival), so the
-        # highest-priority waiting batch dequeues first and FIFO order is
-        # preserved within a priority.  _STOP sorts after all real work.
-        self._queue: "queue.PriorityQueue" = queue.PriorityQueue(maxsize=queue_depth)
-        self._sequence = itertools.count()
+        # Weighted-fair queue: waiting batches dequeue fair-share across
+        # tenants; within one tenant the order is (-priority, arrival) —
+        # with all traffic on the default tenant that is exactly the old
+        # PriorityQueue order.  The stop sentinel drains after all work.
+        self._queue: "FairBlockingQueue" = FairBlockingQueue(maxsize=queue_depth)
         self._closed = False
         self._thread = threading.Thread(
             target=self._loop, name=f"repro-cluster-{worker_id}", daemon=True
@@ -145,7 +153,7 @@ class ThreadWorker(Worker):
     # ----------------------------------------------------------------- running
     def _loop(self) -> None:
         while True:
-            _, _, item = self._queue.get()
+            item = self._queue.get()
             self._m_depth.set(self._queue.qsize())
             if item is _STOP:
                 return
@@ -157,12 +165,25 @@ class ThreadWorker(Worker):
             except BaseException as exc:  # surfaced to the submitting thread
                 future.set_exception(exc)
 
-    def submit(self, requests: "list[dict]", priority: int = 0) -> "list[dict]":
+    def submit(
+        self,
+        requests: "list[dict]",
+        priority: int = 0,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        weight: float = 1.0,
+    ) -> "list[dict]":
         if self._closed or not self._thread.is_alive():
             raise WorkerDeadError(f"worker {self.worker_id} is not accepting work")
         future: "Future[list[dict]]" = Future()
         # Blocks while queue_depth batches are already waiting: backpressure.
-        self._queue.put((-priority, next(self._sequence), (requests, future)))
+        self._queue.put(
+            (requests, future),
+            tenant=tenant,
+            weight=weight,
+            priority=priority,
+            cost=float(max(len(requests), 1)),
+        )
         self._m_depth.set(self._queue.qsize())
         if self._closed:
             # close() raced the enqueue; the loop may never drain the item.
@@ -191,8 +212,8 @@ class ThreadWorker(Worker):
         if self._closed:
             return
         self._closed = True
-        # Sorts after every admitted batch: pending work drains first.
-        self._queue.put((float("inf"), next(self._sequence), _STOP))
+        # Served after every admitted batch: pending work drains first.
+        self._queue.put_final(_STOP)
         self._thread.join(timeout=5.0)
 
 
@@ -285,9 +306,16 @@ class SubprocessWorker(Worker):
         raise ClusterError(f"worker {self.worker_id} never became reachable")
 
     # ----------------------------------------------------------------- running
-    def submit(self, requests: "list[dict]", priority: int = 0) -> "list[dict]":
-        # ``priority`` already travels inside each request envelope; the
-        # child's own PriorityLock honors it at dequeue.
+    def submit(
+        self,
+        requests: "list[dict]",
+        priority: int = 0,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        weight: float = 1.0,
+    ) -> "list[dict]":
+        # ``priority`` and ``tenant`` already travel inside each request
+        # envelope; the child's own fair batch lock honors them at dequeue.
         from ..api.client import _RemoteBackend
         from ..api.errors import TransportError
 

@@ -18,7 +18,6 @@ from .engine import EngineConfig, EngineReport, ExecutionEngine
 from .service import (
     ServingService,
     build_service,
-    build_task,
     run_pipeline_spec,
     serve_lines,
     start_line_server,
@@ -35,7 +34,6 @@ __all__ = [
     "PersistentCache",
     "ServingService",
     "build_service",
-    "build_task",
     "drive_async",
     "execute_task",
     "prompt_key",

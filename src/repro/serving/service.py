@@ -36,7 +36,6 @@ import json
 import sys
 import threading
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, IO, Iterable, Sequence
 
@@ -44,7 +43,7 @@ from ..api.errors import ApiError, ErrorInfo, InvalidRequestError
 from ..api.pipeline_spec import PipelineSpec
 from ..api.protocol import ParsedRequest, encode_error, encode_success, parse_request
 from ..api.results import TaskResult
-from ..api.specs import TaskSpec, spec_from_request
+from ..api.specs import TaskSpec
 from ..api.stats_spec import StatsSpec
 from ..core.config import UniDMConfig
 from ..core.pipeline import UniDM
@@ -53,12 +52,13 @@ from ..core.types import ManipulationResult
 from ..llm.base import LanguageModel
 from ..llm.cache import CachedLLM
 from ..llm.simulated import SimulatedLLM
-from ..obs.admission import AdmissionController, PriorityLock
+from ..obs.admission import AdmissionController
 from ..obs.events import emit_event
 from ..obs.export import get_default_exemplars
 from ..obs.metrics import MetricsRegistry, get_default_registry
 from ..obs.span import remote_span
 from ..obs.trace import Trace
+from ..tenancy import DEFAULT_TENANT, TenancyController, TenantRegistry, WeightedFairLock
 from .cache import PersistentCache
 from .engine import EngineConfig, ExecutionEngine
 
@@ -74,24 +74,6 @@ class InvalidRequest:
     error: str
 
 
-def build_task(request: dict) -> Task:
-    """Translate one flat JSON task payload into a pipeline task.
-
-    .. deprecated:: 1.2
-       Compatibility shim over the :class:`~repro.api.specs.TaskSpec`
-       registry (the PR 1 entry point).  Use
-       :func:`repro.api.spec_from_request` (``spec_from_request(request)
-       .to_task()``) or the typed specs directly.
-    """
-    warnings.warn(
-        "build_task is deprecated; use repro.api.spec_from_request(request)"
-        ".to_task() or the typed TaskSpec classes instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return spec_from_request(request).to_task()
-
-
 class ServingService:
     """Answers JSON task requests through the execution engine.
 
@@ -103,6 +85,14 @@ class ServingService:
     first (v2 envelope key ``"priority"``).  ``stats`` requests are answered
     before admission and outside the batch lock, so observability survives
     overload.
+
+    Tenancy (off by default): with a :class:`~repro.tenancy.TenantRegistry`
+    passed as ``tenants``, each request's claimed tenant (v2 envelope key
+    ``"tenant"``; untagged and unknown names resolve to ``default``) is
+    charged against that tenant's token bucket and ``max_inflight`` cap
+    *before* global admission — excess is shed per tenant with a structured
+    ``rate_limited`` error — and admitted groups contend for the engine
+    weighted-fair across tenants (priority still breaks ties within one).
     """
 
     def __init__(
@@ -114,6 +104,7 @@ class ServingService:
         max_queue_depth: int | None = None,
         retry_after: float = 0.05,
         metrics: MetricsRegistry | None = None,
+        tenants: TenantRegistry | None = None,
     ):
         self.pipeline = pipeline
         self._metrics = metrics or get_default_registry()
@@ -128,11 +119,18 @@ class ServingService:
             name="service.admission",
             metrics=self._metrics,
         )
+        self.tenancy = (
+            TenancyController(tenants, retry_after=retry_after, metrics=self._metrics)
+            if tenants is not None
+            else None
+        )
         # One batch at a time: the pipeline's rng and the engine's report are
         # shared state, so concurrent TCP connections take turns here (their
         # requests still micro-batch *within* each flush).  Under contention
-        # the highest-priority waiting batch acquires first.
-        self._batch_lock = PriorityLock()
+        # the fair-share tenant's highest-priority waiting batch acquires
+        # first; untagged traffic all rides the default tenant, where the
+        # order is exactly the old PriorityLock's (priority desc, arrival).
+        self._batch_lock = WeightedFairLock()
         self._served_lock = threading.Lock()
 
     def run_tasks(self, tasks: Iterable[Task]) -> list[ManipulationResult]:
@@ -155,50 +153,131 @@ class ServingService:
             if isinstance(parsed.spec, StatsSpec):
                 snapshot = TaskResult(
                     answer=self.stats_snapshot(
-                        parsed.spec.prefix, reset=parsed.spec.reset
+                        parsed.spec.prefix,
+                        reset=parsed.spec.reset,
+                        tenant=parsed.spec.tenant,
                     ),
                     task_type="stats",
                 )
                 responses[position] = encode_success(
-                    snapshot, parsed.id, parsed.version, trace=parsed.trace
+                    snapshot,
+                    parsed.id,
+                    parsed.version,
+                    trace=parsed.trace,
+                    tenant=parsed.tenant,
                 )
             else:
                 work.append((position, parsed))
         if work:
-            if not self.admission.try_acquire(len(work)):
-                info = overloaded_error(self.admission)
-                emit_event(
-                    "admission.shed",
-                    name=self.admission.name,
-                    requests=len(work),
-                    **(info.details or {}),
-                )
-                for position, parsed in work:
-                    responses[position] = encode_error(
-                        info, parsed.id, parsed.version, trace=parsed.trace
+            # Per-tenant limits first (cheap, per-group), then global
+            # capacity over whatever survived.
+            admitted = self._admit_tenants(work, responses)
+            if admitted:
+                total = sum(len(group) for _, group in admitted)
+                if not self.admission.try_acquire(total):
+                    info = overloaded_error(self.admission)
+                    emit_event(
+                        "admission.shed",
+                        name=self.admission.name,
+                        requests=total,
+                        **(info.details or {}),
                     )
-            else:
-                priority = max(parsed.priority for _, parsed in work)
-                batch_trace, batch_parent = batch_span_context(
-                    parsed for _, parsed in work
-                )
-                try:
-                    # The span covers the lock wait too — that *is* the
-                    # service-side queueing a caller experiences.
-                    with remote_span(
-                        "service.batch",
-                        trace_id=batch_trace,
-                        parent_id=batch_parent,
-                        requests=len(work),
-                    ):
-                        with self._batch_lock.hold(priority):
-                            self._handle_parsed_locked(work, responses)
-                finally:
-                    self.admission.release(len(work))
+                    for _, group in admitted:
+                        for position, parsed in group:
+                            responses[position] = encode_error(
+                                info,
+                                parsed.id,
+                                parsed.version,
+                                trace=parsed.trace,
+                                tenant=parsed.tenant,
+                            )
+                    self._release_tenants(admitted)
+                else:
+                    try:
+                        for tenant, group in admitted:
+                            self._handle_tenant_group(tenant, group, responses)
+                    finally:
+                        self.admission.release(total)
+                        self._release_tenants(admitted)
         with self._served_lock:
             self.requests_served += len(request_list)
         self._m_requests.inc(len(request_list))
         return [response for response in responses if response is not None]
+
+    def _admit_tenants(
+        self,
+        work: "list[tuple[int, ParsedRequest]]",
+        responses: "list[dict | None]",
+    ) -> "list[tuple[str, list[tuple[int, ParsedRequest]]]]":
+        """Group ``work`` by resolved tenant and charge each tenant's limits.
+
+        Returns the admitted ``(tenant, group)`` pairs; rejected groups get
+        their ``rate_limited`` error encoded into ``responses`` in place.
+        With tenancy off, everything is one admitted ``default`` group.
+        """
+        if self.tenancy is None:
+            return [(DEFAULT_TENANT, list(work))]
+        groups: dict[str, list[tuple[int, ParsedRequest]]] = {}
+        for position, parsed in work:
+            tenant = self.tenancy.resolve(parsed.tenant)
+            groups.setdefault(tenant, []).append((position, parsed))
+        admitted: list[tuple[str, list[tuple[int, ParsedRequest]]]] = []
+        for tenant, group in groups.items():
+            info = self.tenancy.admit(tenant, len(group))
+            if info is None:
+                admitted.append((tenant, group))
+                continue
+            emit_event("tenancy.shed", **(info.details or {}))
+            for position, parsed in group:
+                responses[position] = encode_error(
+                    info,
+                    parsed.id,
+                    parsed.version,
+                    trace=parsed.trace,
+                    tenant=parsed.tenant,
+                )
+        return admitted
+
+    def _release_tenants(
+        self, admitted: "list[tuple[str, list[tuple[int, ParsedRequest]]]]"
+    ) -> None:
+        if self.tenancy is None:
+            return
+        for tenant, group in admitted:
+            self.tenancy.release(tenant, len(group))
+
+    def _handle_tenant_group(
+        self,
+        tenant: str,
+        group: "list[tuple[int, ParsedRequest]]",
+        responses: "list[dict | None]",
+    ) -> None:
+        """Run one tenant's admitted requests under the fair batch lock."""
+        priority = max(parsed.priority for _, parsed in group)
+        weight = self.tenancy.weight(tenant) if self.tenancy is not None else 1.0
+        batch_trace, batch_parent = batch_span_context(parsed for _, parsed in group)
+        started = time.perf_counter()
+        try:
+            # The span covers the lock wait too — that *is* the
+            # service-side queueing a caller experiences.
+            with remote_span(
+                "service.batch",
+                trace_id=batch_trace,
+                parent_id=batch_parent,
+                requests=len(group),
+                tenant=tenant,
+            ):
+                with self._batch_lock.hold(
+                    priority, tenant=tenant, weight=weight, cost=float(len(group))
+                ):
+                    self._handle_parsed_locked(group, responses)
+        finally:
+            if self.tenancy is not None:
+                # Queueing behind other tenants included: this histogram's
+                # p99 is the isolation signal the chaos tests assert on.
+                self.tenancy.observe_latency(
+                    tenant, time.perf_counter() - started, len(group)
+                )
 
     def _handle_parsed_locked(
         self,
@@ -222,7 +301,11 @@ class ServingService:
                     code="invalid_request", message=str(exc)
                 )
                 responses[position] = encode_error(
-                    info, parsed.id, parsed.version, trace=parsed.trace
+                    info,
+                    parsed.id,
+                    parsed.version,
+                    trace=parsed.trace,
+                    tenant=parsed.tenant,
                 )
                 continue
             slots.append((position, parsed))
@@ -234,18 +317,28 @@ class ServingService:
             for (position, parsed), result in zip(slots, results):
                 payload = TaskResult.from_manipulation(result, request_id=parsed.id)
                 responses[position] = encode_success(
-                    payload, parsed.id, parsed.version, trace=parsed.trace
+                    payload,
+                    parsed.id,
+                    parsed.version,
+                    trace=parsed.trace,
+                    tenant=parsed.tenant,
                 )
         for position, parsed in plans:
             responses[position] = self._run_plan_locked(parsed)
 
     # ------------------------------------------------------------------- stats
-    def stats_snapshot(self, prefix: str = "", *, reset: bool = False) -> dict:
+    def stats_snapshot(
+        self, prefix: str = "", *, reset: bool = False, tenant: str = ""
+    ) -> dict:
         """The observability snapshot a ``stats`` request answers with.
 
         With ``reset`` the registry is zeroed in place *after* the snapshot
-        is taken, so the next one reports only what happened since.
+        is taken, so the next one reports only what happened since.  With
+        ``tenant`` (and tenancy on) the metrics narrow to that tenant's
+        ``tenant.<name>.*`` series and the tenancy section to its state.
         """
+        if tenant and not prefix and self.tenancy is not None:
+            prefix = f"tenant.{self.tenancy.resolve(tenant)}."
         snapshot = {
             "service": {
                 "requests_served": self.requests_served,
@@ -261,6 +354,8 @@ class ServingService:
             "metrics": self._metrics.snapshot(prefix),
             "exemplars": get_default_exemplars().snapshot(),
         }
+        if self.tenancy is not None:
+            snapshot["tenancy"] = self.tenancy.snapshot(tenant or None)
         if reset:
             self._metrics.reset()
         return snapshot
@@ -283,9 +378,15 @@ class ServingService:
         result.id = parsed.id
         if result.error is not None:
             return encode_error(
-                result.error, parsed.id, parsed.version, trace=parsed.trace
+                result.error,
+                parsed.id,
+                parsed.version,
+                trace=parsed.trace,
+                tenant=parsed.tenant,
             )
-        return encode_success(result, parsed.id, parsed.version, trace=parsed.trace)
+        return encode_success(
+            result, parsed.id, parsed.version, trace=parsed.trace, tenant=parsed.tenant
+        )
 
     def handle_request(self, request: dict) -> dict:
         return self.handle_batch([request])[0]
@@ -534,6 +635,7 @@ def build_service(
     llm: LanguageModel | None = None,
     max_inflight: int | None = None,
     max_queue_depth: int | None = None,
+    tenants: TenantRegistry | None = None,
 ) -> ServingService:
     """Assemble the default serving stack: simulated LLM → cache → engine."""
     if llm is None:
@@ -547,6 +649,7 @@ def build_service(
         engine,
         max_inflight=max_inflight,
         max_queue_depth=max_queue_depth,
+        tenants=tenants,
     )
 
 

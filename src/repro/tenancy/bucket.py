@@ -1,0 +1,110 @@
+"""Deterministic token bucket — the per-tenant rate limiter.
+
+A classic lazy-refill bucket: ``tokens`` grows at ``rate`` per second up to
+``burst`` and every admitted request spends one token (batches spend one per
+request).  The clock is injectable, so tests drive time by hand and the
+refill math is exactly reproducible — no sleeping, no flaky margins.
+
+Two deliberate policy choices:
+
+* ``rate=None`` disables the bucket entirely (the catch-all ``default``
+  tenant's configuration) — ``try_acquire`` always admits.
+* A batch larger than ``burst`` could never afford its full price, so it is
+  admitted once the bucket is *full* and drives the balance negative.  The
+  debt refills at ``rate`` like any other spend, so oversized batches are
+  paid for on average — they just cannot be starved forever.  This mirrors
+  the oversized-batch rule of :class:`repro.obs.AdmissionController`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """Token bucket with injectable clock and fractional refill.
+
+    Parameters
+    ----------
+    rate:
+        Tokens added per second; ``None`` disables limiting entirely.
+    burst:
+        Bucket capacity (maximum saved-up tokens).  Defaults to ``rate``
+        (one second of traffic), floored at 1.
+    clock:
+        Monotonic seconds source; injected by tests for determinism.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for unlimited)")
+        if burst is not None and burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate) if rate is not None else None
+        if self.rate is None:
+            self.burst = float(burst) if burst is not None else None
+        else:
+            self.burst = float(burst) if burst is not None else max(self.rate, 1.0)
+        self._clock = clock
+        self._tokens = self.burst if self.burst is not None else 0.0
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ refill
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        if self.rate is None or self.burst is None:
+            return
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (after refill); negative while paying off debt."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+    # ----------------------------------------------------------------- acquire
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Spend ``n`` tokens if affordable; False means rate-limit the work.
+
+        ``n`` larger than ``burst`` is affordable only when the bucket is
+        full, and drives the balance negative (debt) — see the module
+        docstring for why.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if self.rate is None or self.burst is None:
+            return True
+        with self._lock:
+            self._refill_locked()
+            if self._tokens < min(n, self.burst):
+                return False
+            self._tokens -= n
+            return True
+
+    def retry_after(self, n: float = 1.0) -> float:
+        """Seconds until ``try_acquire(n)`` could succeed (0.0 when it would now)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if self.rate is None or self.burst is None:
+            return 0.0
+        with self._lock:
+            self._refill_locked()
+            need = min(n, self.burst)
+            if self._tokens >= need:
+                return 0.0
+            return (need - self._tokens) / self.rate
+
+
+__all__ = ["TokenBucket"]

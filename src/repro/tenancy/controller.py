@@ -1,0 +1,240 @@
+"""Runtime tenant enforcement: buckets, inflight caps, per-tenant metrics.
+
+:class:`TenancyController` is the piece a front door (the serving service or
+the cluster router) holds when a :class:`~repro.tenancy.TenantRegistry` is
+configured.  Per resolved tenant it lazily creates the runtime state — a
+:class:`~repro.tenancy.TokenBucket`, an inflight count, and the metric
+handles — and answers one question at admission time: :meth:`admit` returns
+``None`` (admitted; call :meth:`release` when the work finishes) or a
+structured ``rate_limited`` :class:`~repro.api.errors.ErrorInfo` carrying a
+``retry_after`` hint and the per-tenant details at shed time.
+
+Metric names are prefixed per tenant in the shared registry::
+
+    tenant.<name>.admitted       counter — requests past the tenant's limits
+    tenant.<name>.rate_limited   counter — requests shed by bucket or cap
+    tenant.<name>.inflight       gauge   — admitted-but-unfinished requests
+    tenant.<name>.latency        histogram — request latency inside the
+                                 front door (queueing included; the chaos
+                                 tests assert isolation on its p99)
+
+Because :meth:`TenantRegistry.resolve` collapses unknown names onto
+``default``, metric cardinality is bounded by the configured tenant set no
+matter what names clients claim.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from ..api.errors import ErrorInfo
+from ..obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_default_registry
+from .bucket import TokenBucket
+from .registry import TenantConfig, TenantRegistry
+
+
+class _TenantState:
+    """Runtime state of one resolved tenant (bucket, inflight, metrics)."""
+
+    __slots__ = (
+        "config",
+        "bucket",
+        "inflight",
+        "m_admitted",
+        "m_rate_limited",
+        "m_inflight",
+        "m_latency",
+    )
+
+    def __init__(
+        self,
+        config: TenantConfig,
+        clock: Callable[[], float],
+        metrics: MetricsRegistry,
+    ):
+        self.config = config
+        self.bucket = TokenBucket(config.rate, config.burst, clock=clock)
+        self.inflight = 0
+        prefix = f"tenant.{config.name}"
+        self.m_admitted: Counter = metrics.counter(f"{prefix}.admitted")
+        self.m_rate_limited: Counter = metrics.counter(f"{prefix}.rate_limited")
+        self.m_inflight: Gauge = metrics.gauge(f"{prefix}.inflight")
+        self.m_latency: Histogram = metrics.histogram(f"{prefix}.latency")
+
+
+class TenancyController:
+    """Enforces one registry's buckets and caps at a front door.
+
+    Parameters
+    ----------
+    tenants:
+        The tenant configuration; ``None`` builds a permissive
+        default-only registry.
+    retry_after:
+        Back-off hint (seconds) for inflight-cap rejections, where the
+        bucket's refill math offers no natural deadline.
+    clock:
+        Monotonic seconds source shared by every bucket (injectable for
+        deterministic tests).
+    """
+
+    def __init__(
+        self,
+        tenants: TenantRegistry | None = None,
+        *,
+        retry_after: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if retry_after < 0:
+            raise ValueError("retry_after must be non-negative")
+        self.tenants = tenants if tenants is not None else TenantRegistry()
+        self.retry_after = retry_after
+        self._clock = clock
+        self._metrics = metrics or get_default_registry()
+        self._states: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ lookup
+    def resolve(self, tenant: str | None) -> str:
+        """The resolved tenant name state and metrics key on."""
+        return self.tenants.resolve(tenant).name
+
+    def weight(self, tenant: str | None) -> float:
+        """The resolved tenant's scheduling weight (for fair dequeue)."""
+        return self.tenants.resolve(tenant).weight
+
+    def _state(self, tenant: str | None) -> _TenantState:
+        config = self.tenants.resolve(tenant)
+        state = self._states.get(config.name)
+        if state is None:
+            state = self._states[config.name] = _TenantState(
+                config, self._clock, self._metrics
+            )
+        return state
+
+    # --------------------------------------------------------------- admission
+    def admit(self, tenant: str | None, n: int = 1) -> ErrorInfo | None:
+        """Charge ``n`` requests against the tenant's limits.
+
+        Returns ``None`` when admitted (the tenant's inflight count now
+        includes the ``n`` requests — pair with :meth:`release`), or a
+        ``rate_limited`` :class:`ErrorInfo` when the token bucket or the
+        ``max_inflight`` cap rejected the work.  Like the global
+        :class:`~repro.obs.AdmissionController`, a batch larger than the
+        whole cap is admitted while the tenant is idle, so it cannot starve.
+        """
+        with self._lock:
+            state = self._state(tenant)
+            config = state.config
+            if (
+                config.max_inflight is not None
+                and state.inflight > 0
+                and state.inflight + n > config.max_inflight
+            ):
+                error = self._rejection(
+                    state,
+                    n,
+                    reason="inflight",
+                    retry_after=self.retry_after,
+                    message=(
+                        f"tenant {config.name!r} is at its inflight cap: "
+                        f"{state.inflight} of {config.max_inflight} in flight; "
+                        f"retry after {self.retry_after:g}s"
+                    ),
+                )
+            elif not state.bucket.try_acquire(n):
+                hint = max(state.bucket.retry_after(n), self.retry_after)
+                error = self._rejection(
+                    state,
+                    n,
+                    reason="rate",
+                    retry_after=hint,
+                    message=(
+                        f"tenant {config.name!r} exceeded its rate limit "
+                        f"({config.rate:g}/s, burst {state.bucket.burst:g}); "
+                        f"retry after {hint:g}s"
+                    ),
+                )
+            else:
+                state.inflight += n
+                error = None
+        if error is None:
+            state.m_admitted.inc(n)
+            state.m_inflight.inc(n)
+        else:
+            state.m_rate_limited.inc(n)
+        return error
+
+    def release(self, tenant: str | None, n: int = 1) -> None:
+        """Return ``n`` admitted requests once they finished."""
+        with self._lock:
+            state = self._state(tenant)
+            state.inflight = max(0, state.inflight - n)
+        state.m_inflight.dec(n)
+
+    def observe_latency(self, tenant: str | None, seconds: float, n: int = 1) -> None:
+        """Record the front-door latency each of ``n`` requests experienced."""
+        state = self._state(tenant)
+        for _ in range(n):
+            state.m_latency.observe(seconds)
+
+    def _rejection(
+        self,
+        state: _TenantState,
+        n: int,
+        *,
+        reason: str,
+        retry_after: float,
+        message: str,
+    ) -> ErrorInfo:
+        config = state.config
+        return ErrorInfo(
+            code="rate_limited",
+            message=message,
+            retry_after=retry_after,
+            details={
+                "tenant": config.name,
+                "reason": reason,
+                "requests": n,
+                "rate": config.rate,
+                "burst": state.bucket.burst,
+                "max_inflight": config.max_inflight,
+                "inflight": state.inflight,
+            },
+        )
+
+    # ------------------------------------------------------------------- stats
+    def snapshot(self, tenant: str | None = None) -> dict[str, Any]:
+        """Per-tenant runtime state for stats responses.
+
+        With ``tenant`` the snapshot is restricted to that (resolved)
+        tenant; otherwise every tenant that has runtime state — plus the
+        configured-but-idle ones — is reported.
+        """
+        with self._lock:
+            if tenant:
+                names = [self.resolve(tenant)]
+            else:
+                names = sorted(set(self.tenants.names()) | set(self._states))
+            rows = {}
+            for name in names:
+                state = self._states.get(name)
+                config = state.config if state is not None else self.tenants.resolve(name)
+                row: dict[str, Any] = {
+                    "config": config.to_payload(),
+                    "inflight": state.inflight if state is not None else 0,
+                    "admitted": int(state.m_admitted.value) if state is not None else 0,
+                    "rate_limited": (
+                        int(state.m_rate_limited.value) if state is not None else 0
+                    ),
+                }
+                if state is not None and state.bucket.rate is not None:
+                    row["tokens"] = round(state.bucket.tokens, 6)
+                rows[name] = row
+        return {"tenants": rows}
+
+
+__all__ = ["TenancyController"]

@@ -120,7 +120,7 @@ def test_router_forwards_a_batch_trace_to_its_workers():
             self.worker_id = worker_id
             self.seen = []
 
-        def submit(self, requests, priority=0):
+        def submit(self, requests, priority=0, **kwargs):
             self.seen.extend(requests)
             return [
                 encode_success(

@@ -25,13 +25,10 @@ def from_request(request):
 
 
 # ------------------------------------------------------------- request parsing
-def test_build_task_shim_still_works_but_warns():
-    from repro.serving.service import build_task
-
-    with pytest.deprecated_call():
-        task = build_task(
-            {"type": "transformation", "value": "a", "examples": [["x", "y"]]}
-        )
+def test_build_transformation_task():
+    task = from_request(
+        {"type": "transformation", "value": "a", "examples": [["x", "y"]]}
+    )
     assert isinstance(task, TransformationTask)
 
 

@@ -1,0 +1,86 @@
+"""Token-bucket math under a hand-driven clock (no sleeping, no flakes)."""
+
+import pytest
+
+from repro.tenancy import TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_bucket_starts_full_and_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+    assert bucket.tokens == 5.0
+    for _ in range(5):
+        assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+    clock.advance(0.25)  # 2.5 tokens back
+    assert bucket.tokens == pytest.approx(2.5)
+    assert bucket.try_acquire(2)
+    assert not bucket.try_acquire(1)
+
+
+def test_refill_caps_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+    clock.advance(60.0)
+    assert bucket.tokens == 3.0
+
+
+def test_burst_defaults_to_rate_floored_at_one():
+    assert TokenBucket(rate=50.0).burst == 50.0
+    assert TokenBucket(rate=0.2).burst == 1.0
+
+
+def test_rate_none_is_unlimited():
+    bucket = TokenBucket(rate=None)
+    for _ in range(10_000):
+        assert bucket.try_acquire()
+    assert bucket.retry_after() == 0.0
+
+
+def test_oversized_batch_admitted_only_when_full_and_goes_into_debt():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=4.0, clock=clock)
+    # Full bucket: a batch bigger than burst is admitted, at a debt.
+    assert bucket.try_acquire(10)
+    assert bucket.tokens == pytest.approx(-6.0)
+    # While in debt nothing else is affordable.
+    assert not bucket.try_acquire(1)
+    # A partially-refilled bucket cannot afford another oversized batch.
+    clock.advance(0.9)  # 3 of 4 tokens back
+    assert not bucket.try_acquire(10)
+    clock.advance(0.1)  # full again
+    assert bucket.try_acquire(10)
+
+
+def test_retry_after_is_the_exact_refill_deadline():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=4.0, burst=2.0, clock=clock)
+    assert bucket.try_acquire(2)
+    assert bucket.retry_after(1) == pytest.approx(0.25)
+    # Oversized requests only ever need a full bucket, not n tokens.
+    assert bucket.retry_after(100) == pytest.approx(0.5)
+    clock.advance(0.25)
+    assert bucket.retry_after(1) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=5.0, burst=-1.0)
+    bucket = TokenBucket(rate=5.0)
+    with pytest.raises(ValueError):
+        bucket.try_acquire(0)
+    with pytest.raises(ValueError):
+        bucket.retry_after(-1)

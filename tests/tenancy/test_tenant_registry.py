@@ -1,0 +1,106 @@
+"""Tenant configuration: validation, resolution, and both serialized forms."""
+
+import json
+
+import pytest
+
+from repro.tenancy import DEFAULT_TENANT, TenantConfig, TenantRegistry
+
+
+# ---------------------------------------------------------------------- config
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TenantConfig("")
+    with pytest.raises(ValueError):
+        TenantConfig("t", weight=0.0)
+    with pytest.raises(ValueError):
+        TenantConfig("t", rate=-1.0)
+    with pytest.raises(ValueError):
+        TenantConfig("t", burst=0.0)
+    with pytest.raises(ValueError):
+        TenantConfig("t", max_inflight=0)
+
+
+def test_config_payload_roundtrip():
+    config = TenantConfig("gold", weight=4.0, rate=100.0, burst=20.0, max_inflight=8)
+    assert TenantConfig.from_payload("gold", config.to_payload()) == config
+    sparse = TenantConfig("sparse")
+    assert sparse.to_payload() == {"weight": 1.0}
+
+
+def test_from_payload_rejects_unknown_keys_and_bad_types():
+    with pytest.raises(ValueError, match="unknown config keys"):
+        TenantConfig.from_payload("t", {"rate": 5, "quota": 3})
+    with pytest.raises(ValueError, match="must be a number"):
+        TenantConfig.from_payload("t", {"rate": "fast"})
+    with pytest.raises(ValueError, match="must be a number"):
+        TenantConfig.from_payload("t", {"burst": True})
+    with pytest.raises(ValueError, match="must be an object"):
+        TenantConfig.from_payload("t", [1, 2])
+
+
+def test_parse_inline_full_and_sparse():
+    config = TenantConfig.parse_inline("gold,weight=4,rate=100,burst=20,max_inflight=8")
+    assert config == TenantConfig(
+        "gold", weight=4.0, rate=100.0, burst=20.0, max_inflight=8
+    )
+    assert TenantConfig.parse_inline("plain") == TenantConfig("plain")
+
+
+def test_parse_inline_rejects_malformed_specs():
+    with pytest.raises(ValueError, match="empty tenant"):
+        TenantConfig.parse_inline("  ,")
+    with pytest.raises(ValueError, match="knob=value"):
+        TenantConfig.parse_inline("t,weight")
+    with pytest.raises(ValueError, match="unknown knob"):
+        TenantConfig.parse_inline("t,quota=3")
+    with pytest.raises(ValueError, match="must be numeric"):
+        TenantConfig.parse_inline("t,rate=fast")
+
+
+# -------------------------------------------------------------------- registry
+def test_registry_always_has_a_permissive_default():
+    registry = TenantRegistry()
+    assert DEFAULT_TENANT in registry
+    config = registry.resolve(None)
+    assert config.name == DEFAULT_TENANT
+    assert config.rate is None and config.max_inflight is None
+
+
+def test_unknown_empty_and_none_resolve_to_default():
+    registry = TenantRegistry([TenantConfig("known", rate=5.0)])
+    assert registry.resolve("known").name == "known"
+    for claimed in (None, "", "invented-by-an-adversary"):
+        assert registry.resolve(claimed).name == DEFAULT_TENANT
+
+
+def test_register_replaces_and_default_is_configurable():
+    registry = TenantRegistry([TenantConfig("t", weight=1.0)])
+    registry.register(TenantConfig("t", weight=9.0))
+    assert registry.resolve("t").weight == 9.0
+    registry.register(TenantConfig(DEFAULT_TENANT, rate=1.0))
+    assert registry.resolve("anything").rate == 1.0
+    assert len(registry) == 2
+
+
+def test_registry_payload_roundtrip_and_file_form(tmp_path):
+    registry = TenantRegistry(
+        [TenantConfig("a", weight=2.0, rate=10.0), TenantConfig("b", max_inflight=3)]
+    )
+    clone = TenantRegistry.from_payload(registry.to_payload())
+    assert clone.to_payload() == registry.to_payload()
+
+    path = tmp_path / "tenants.json"
+    path.write_text(json.dumps(registry.to_payload()), encoding="utf-8")
+    loaded = TenantRegistry.from_file(path)
+    assert loaded.to_payload() == registry.to_payload()
+
+
+def test_from_file_rejects_bad_json_and_shapes(tmp_path):
+    path = tmp_path / "tenants.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ValueError, match="bad JSON"):
+        TenantRegistry.from_file(path)
+    path.write_text("[1, 2]", encoding="utf-8")
+    with pytest.raises(ValueError, match="must be an object"):
+        TenantRegistry.from_file(path)
