@@ -52,7 +52,12 @@ CAPPED_METRICS: dict[str, list[tuple[str, str, float]]] = {
             "overhead_ratio",
             "span+event instrumentation overhead (traced / untraced)",
             1.10,
-        )
+        ),
+        (
+            "slo_overhead_ratio",
+            "time-series + SLO monitoring overhead (monitored / untraced)",
+            1.10,
+        ),
     ],
     "tenancy": [
         (

@@ -21,7 +21,12 @@ import re
 import sys
 from pathlib import Path
 
-FORBIDDEN = re.compile(r"\btime\.time\(")
+# Every wall-clock spelling, not just time.time(): the time-series and SLO
+# layers compute window spans and alert ages from sample timestamps, so any
+# wall-clock read there would skew windows when NTP steps the clock.
+FORBIDDEN = re.compile(
+    r"\btime\.time\(|\bdatetime\.(?:now|utcnow|today)\(|\btime\.strftime\("
+)
 EXEMPT_MARKER = "# wall-clock ok"
 DEFAULT_PATHS = ["src/repro/obs"]
 
@@ -48,11 +53,11 @@ def main(argv: list[str] | None = None) -> int:
     if offenders:
         print(
             "use time.monotonic() (span timing) or time.perf_counter() "
-            "(latency metrics) instead of time.time()",
+            "(latency metrics) instead of wall-clock reads",
             file=sys.stderr,
         )
         return 1
-    print(f"no time.time() in {', '.join(paths)}.")
+    print(f"no wall-clock timing in {', '.join(paths)}.")
     return 0
 
 

@@ -42,6 +42,19 @@ Commands
     exposition (fetched as ``GET /metrics`` when a ``--stats-port`` is
     given); ``--reset`` zeroes the counters after the snapshot;
     ``--tenant NAME`` narrows it to one tenant (main-port mode only).
+    ``--watch SECONDS`` polls and repaints the compact health table (the
+    same renderer as ``top``) instead of printing once.
+``top``
+    Live refreshing per-tenant health table against a running service:
+    windowed QPS, p99 latency, shed rate, error-budget headroom and SLO
+    state per tenant, plus readiness and firing alerts.  ``--once`` prints
+    a single frame (scripting/CI); reads the main port or ``--stats-port``.
+``doctor``
+    Capture a one-shot diagnostic bundle from a running service's
+    ``--stats-port`` (``GET /doctor``): effective config, stats snapshot,
+    rolling windows, firing alerts, SLO states, the event tail and every
+    thread's stack — one JSON file for a postmortem (``--output -`` for
+    stdout).
 ``trace``
     Reconstruct the span waterfall of one trace from a structured event log
     (``--events`` file, default ``$REPRO_EVENTS_FILE``): per-span offsets,
@@ -250,13 +263,21 @@ def _demo_cluster(args: argparse.Namespace) -> int:
 
 
 def _serve_frontend(
-    handle_batch, served_count, args: argparse.Namespace, snapshot=None
+    handle_batch,
+    served_count,
+    args: argparse.Namespace,
+    snapshot=None,
+    monitor=None,
+    doctor_fn=None,
 ) -> int:
     """Run either front-end (TCP or stdin/stdout) over a batch handler.
 
     ``snapshot`` (a zero-argument callable returning the stats payload)
     powers the ``--stats-port`` side channel: one JSON snapshot line per
-    connection, answered off the main request path.
+    connection, answered off the main request path.  ``monitor`` (the
+    front-end's :class:`~repro.obs.slo.HealthMonitor`) backs the side
+    channel's ``/healthz`` + ``/readyz`` probes and ``doctor_fn`` its
+    ``/doctor`` bundle.
     """
     from .serving import serve_lines, start_line_server
 
@@ -269,7 +290,13 @@ def _serve_frontend(
             if stats_port is not None and snapshot is not None:
                 from .obs import start_stats_server
 
-                await start_stats_server(snapshot, args.host, stats_port)
+                await start_stats_server(
+                    snapshot,
+                    args.host,
+                    stats_port,
+                    monitor=monitor,
+                    doctor_fn=doctor_fn,
+                )
                 print(f"stats on {args.host}:{stats_port}", file=sys.stderr)
             async with server:
                 await server.serve_forever()
@@ -286,7 +313,9 @@ def _serve_frontend(
     if stats_port is not None and snapshot is not None:
         from .obs import serve_stats_in_thread
 
-        bound = serve_stats_in_thread(snapshot, args.host, stats_port)
+        bound = serve_stats_in_thread(
+            snapshot, args.host, stats_port, monitor=monitor, doctor_fn=doctor_fn
+        )
         if bound is None:
             print(
                 f"cannot bind stats port {args.host}:{stats_port}", file=sys.stderr
@@ -318,11 +347,55 @@ def _tenants_from_args(args: argparse.Namespace):
     return registry
 
 
+def _slos_from_args(args: argparse.Namespace) -> list:
+    """Build the SLO list from --slos-file and --slo flags.
+
+    Inline ``--slo`` specs override same-named entries from the file.
+    """
+    inline = getattr(args, "slos", None) or []
+    path = getattr(args, "slos_file", None)
+    if not inline and path is None:
+        return []
+    from .obs.slo import SLOSpec, load_slos
+
+    by_name = {}
+    if path is not None:
+        for spec in load_slos(path):
+            by_name[spec.name] = spec
+    for text in inline:
+        spec = SLOSpec.parse_inline(text)
+        by_name[spec.name] = spec
+    return list(by_name.values())
+
+
+def _serve_config(args: argparse.Namespace, slos) -> dict:
+    """The effective serve configuration a doctor bundle records."""
+    return {
+        "command": "serve",
+        "model": args.model,
+        "seed": args.seed,
+        "workers": args.workers,
+        "batch_size": args.batch_size,
+        "cluster": args.cluster,
+        "cluster_mode": args.cluster_mode if args.cluster else None,
+        "max_inflight": args.max_inflight,
+        "max_queue_depth": args.max_queue_depth,
+        "tenants": getattr(args, "tenants", None) or [],
+        "tenants_file": getattr(args, "tenants_file", None),
+        "slos": {spec.name: spec.to_payload() for spec in slos},
+    }
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         tenants = _tenants_from_args(args)
     except (ValueError, OSError) as exc:
         print(f"bad tenant configuration: {exc}", file=sys.stderr)
+        return 2
+    try:
+        slos = _slos_from_args(args)
+    except (ValueError, OSError) as exc:
+        print(f"bad SLO configuration: {exc}", file=sys.stderr)
         return 2
     if args.events_file is not None:
         from .obs import configure_default_event_log
@@ -330,6 +403,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # export_env makes spawned subprocess workers (cluster --cluster-mode
         # process) inherit the sink, so one file collects the whole tree.
         configure_default_event_log(path=args.events_file, export_env=True)
+
+    def doctor_for(snapshot_fn, monitor):
+        from .obs.diagnostics import build_bundle
+
+        config = _serve_config(args, slos)
+        return lambda: build_bundle(
+            snapshot_fn=snapshot_fn, monitor=monitor, config=config
+        )
+
     if args.cluster:
         from .cluster import Router
 
@@ -343,6 +425,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_inflight=args.max_inflight,
                 max_queue_depth=args.max_queue_depth,
                 tenants=tenants,
+                slos=slos,
             )
         else:
             router = Router.local(
@@ -354,16 +437,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_inflight=args.max_inflight,
                 max_queue_depth=args.max_queue_depth,
                 tenants=tenants,
+                slos=slos,
             )
         print(
             f"cluster: {args.workers} {args.cluster_mode} workers", file=sys.stderr
         )
+        router.monitor.start()
         try:
             return _serve_frontend(
                 router.handle_batch,
                 lambda: router.requests_served,
                 args,
                 snapshot=router.stats_snapshot,
+                monitor=router.monitor,
+                doctor_fn=doctor_for(router.stats_snapshot, router.monitor),
             )
         finally:
             router.close()
@@ -379,89 +466,127 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         max_queue_depth=args.max_queue_depth,
         tenants=tenants,
+        slos=slos,
     )
-    return _serve_frontend(
-        service.handle_batch,
-        lambda: service.requests_served,
-        args,
-        snapshot=service.stats_snapshot,
-    )
-
-
-def _fetch_stats_port_metrics(args: argparse.Namespace) -> str | None:
-    """``GET /metrics`` against the stats side channel; returns the body."""
-    import socket
-
-    with socket.create_connection(
-        (args.host, args.stats_port), timeout=args.timeout
-    ) as conn:
-        conn.sendall(
-            f"GET /metrics HTTP/1.0\r\nHost: {args.host}\r\n\r\n".encode("ascii")
+    service.monitor.start()
+    try:
+        return _serve_frontend(
+            service.handle_batch,
+            lambda: service.requests_served,
+            args,
+            snapshot=service.stats_snapshot,
+            monitor=service.monitor,
+            doctor_fn=doctor_for(service.stats_snapshot, service.monitor),
         )
-        raw = b""
-        while True:
-            chunk = conn.recv(65536)
-            if not chunk:
-                break
-            raw += chunk
-    head, _, body = raw.partition(b"\r\n\r\n")
-    if not head.startswith(b"HTTP/"):
-        return None
-    return body.decode("utf-8")
+    finally:
+        service.monitor.stop()
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     import json
 
-    if args.stats_port is not None:
-        try:
-            if args.format == "prom":
-                body = _fetch_stats_port_metrics(args)
-                if body is None:
-                    print("stats port did not speak HTTP", file=sys.stderr)
-                    return 1
-                print(body, end="")
-                return 0
-            import socket
+    from .cli import StatsUnreachable, fetch_snapshot, render_top, watch_loop
+    from .cli.fetch import fetch_prometheus
 
-            with socket.create_connection(
-                (args.host, args.stats_port), timeout=args.timeout
-            ) as conn:
-                line = conn.makefile("r", encoding="utf-8").readline()
-        except OSError as exc:
-            print(
-                f"cannot reach stats port {args.host}:{args.stats_port}: {exc}",
-                file=sys.stderr,
-            )
-            return 1
-        try:
-            snapshot = json.loads(line)
-        except json.JSONDecodeError as exc:
-            print(f"stats port answered bad JSON: {exc}", file=sys.stderr)
-            return 1
-    else:
-        from .api import ApiError, Client
-
-        try:
-            snapshot = Client.remote(
-                args.host, args.port, timeout=args.timeout
-            ).stats(prefix=args.prefix, tenant=args.tenant, reset=args.reset)
-        except ApiError as exc:
-            # TransportError (unreachable) and structured error responses
-            # (e.g. an older service without the stats type) alike.
-            print(str(exc), file=sys.stderr)
-            return 1
-    if args.format == "prom":
-        from .obs import render_prometheus
-
-        print(
-            render_prometheus(
-                snapshot.get("metrics", {}), exemplars=snapshot.get("exemplars")
-            ),
-            end="",
+    def fetch() -> dict:
+        return fetch_snapshot(
+            args.host,
+            port=args.port,
+            stats_port=args.stats_port,
+            timeout=args.timeout,
+            prefix=args.prefix,
+            tenant=args.tenant,
+            reset=args.reset,
         )
-        return 0
+
+    try:
+        if args.watch is not None:
+            return watch_loop(
+                fetch,
+                render_top,
+                interval=args.watch,
+                out=sys.stdout,
+                err=sys.stderr,
+            )
+        if args.format == "prom":
+            if args.stats_port is not None:
+                body = fetch_prometheus(
+                    args.host, args.stats_port, timeout=args.timeout
+                )
+            else:
+                from .obs import render_prometheus
+
+                snapshot = fetch()
+                body = render_prometheus(
+                    snapshot.get("metrics", {}), exemplars=snapshot.get("exemplars")
+                )
+            print(body, end="")
+            return 0
+        snapshot = fetch()
+    except StatsUnreachable as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     print(json.dumps(snapshot, indent=2, ensure_ascii=False))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .cli import fetch_snapshot, render_top, watch_loop
+
+    def fetch() -> dict:
+        return fetch_snapshot(
+            args.host,
+            port=args.port,
+            stats_port=args.stats_port,
+            timeout=args.timeout,
+        )
+
+    return watch_loop(
+        fetch,
+        lambda snapshot: render_top(snapshot, window=args.window),
+        interval=args.interval,
+        once=args.once,
+        out=sys.stdout,
+        err=sys.stderr,
+    )
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .cli import StatsUnreachable, fetch_probe
+
+    if args.stats_port is None:
+        print(
+            "repro doctor needs --stats-port (start serve with --stats-port N)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        status, bundle = fetch_probe(
+            args.host, args.stats_port, "/doctor", timeout=args.timeout
+        )
+    except StatsUnreachable as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if status != 200:
+        print(
+            f"stats port {args.host}:{args.stats_port}/doctor answered "
+            f"HTTP {status}: {bundle.get('error', bundle)}",
+            file=sys.stderr,
+        )
+        return 1
+    # Stamped client-side: the serving process only uses monotonic clocks.
+    bundle["captured_at"] = time.time()
+    bundle["target"] = f"{args.host}:{args.stats_port}"
+    text = json.dumps(bundle, indent=2, ensure_ascii=False)
+    if args.output == "-":
+        print(text)
+        return 0
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"wrote diagnostic bundle to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -553,6 +678,23 @@ def main(argv: list[str] | None = None) -> int:
         '{"name": {"weight": ..., "rate": ..., "burst": ..., '
         '"max_inflight": ...}, ...}',
     )
+    serve_parser.add_argument(
+        "--slo",
+        action="append",
+        dest="slos",
+        default=None,
+        metavar="NAME[,kind=latency|error_rate][,threshold=S][,percentile=P]"
+        "[,budget=F][,burn_rate=X][,severity=page|ticket][,tenant=T]"
+        "[,metric=M][,total=M][,windows=10s:1m]",
+        help="declare a service-level objective inline (repeatable); "
+        "overrides same-named --slos-file entries",
+    )
+    serve_parser.add_argument(
+        "--slos-file",
+        default=None,
+        help="JSON file of SLO specs: "
+        '{"name": {"kind": ..., "threshold": ..., "tenant": ...}, ...}',
+    )
     _add_cluster_flags(serve_parser)
     serve_parser.set_defaults(fn=_cmd_serve)
 
@@ -589,7 +731,60 @@ def main(argv: list[str] | None = None) -> int:
         help="narrow the snapshot to one tenant's metrics and state "
         "(main-port mode only)",
     )
+    stats_parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="redraw the repro-top table every SECONDS instead of printing once",
+    )
     stats_parser.set_defaults(fn=_cmd_stats)
+
+    top_parser = subparsers.add_parser("top")
+    top_parser.add_argument("--host", default="127.0.0.1")
+    top_parser.add_argument(
+        "--port", type=int, default=8765, help="main serving port (line protocol)"
+    )
+    top_parser.add_argument(
+        "--stats-port",
+        type=int,
+        default=None,
+        help="read the serve --stats-port side channel instead of the main port",
+    )
+    top_parser.add_argument("--timeout", type=float, default=10.0)
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes",
+    )
+    top_parser.add_argument(
+        "--window",
+        default="10s",
+        help="rolling window to display (10s, 1m, 5m)",
+    )
+    top_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (scripts, CI)",
+    )
+    top_parser.set_defaults(fn=_cmd_top)
+
+    doctor_parser = subparsers.add_parser("doctor")
+    doctor_parser.add_argument("--host", default="127.0.0.1")
+    doctor_parser.add_argument(
+        "--stats-port",
+        type=int,
+        default=None,
+        help="serve --stats-port side channel to pull the bundle from (required)",
+    )
+    doctor_parser.add_argument("--timeout", type=float, default=10.0)
+    doctor_parser.add_argument(
+        "--output",
+        default="repro-doctor.json",
+        help="bundle destination file, or '-' for stdout",
+    )
+    doctor_parser.set_defaults(fn=_cmd_doctor)
 
     trace_parser = subparsers.add_parser("trace")
     trace_parser.add_argument("trace_id", help="trace id to reconstruct")

@@ -429,6 +429,35 @@ class Client:
             StatsSpec(prefix=prefix, tenant=tenant or "", reset=reset)
         ).answer
 
+    def health(self) -> dict:
+        """The serving front-end's liveness/readiness view.
+
+        Reads the ``health`` section of the stats snapshot (produced by the
+        service's :class:`~repro.obs.slo.HealthMonitor`): ``status``
+        (``"ok"`` / ``"degraded"``), ``ready`` plus the ``reasons`` it is
+        not, uptime and the firing-alert count.  Same wire path as
+        :meth:`stats`, so it works identically for local, remote and
+        cluster clients.
+        """
+        snapshot = self.stats()
+        health = snapshot.get("health") if isinstance(snapshot, dict) else None
+        if not isinstance(health, dict):
+            # Pre-SLO service: alive by virtue of having answered.
+            return {"status": "ok", "ready": True, "reasons": []}
+        return health
+
+    def alerts(self) -> list[dict]:
+        """The firing SLO alerts of the serving front-end (may be empty).
+
+        Each alert carries the objective's name, kind, severity, metric,
+        the per-window values that breached, and how long it has been
+        firing (``for_s``).  Empty when no SLOs are configured or nothing
+        is breaching.
+        """
+        snapshot = self.stats()
+        alerts = snapshot.get("alerts") if isinstance(snapshot, dict) else None
+        return alerts if isinstance(alerts, list) else []
+
     # -------------------------------------------------------------- task path
     def run_task(self, task: "Task") -> "ManipulationResult":
         """Run one pipeline task in-process (rich result with prompt trace)."""

@@ -60,6 +60,7 @@ from ..obs.admission import AdmissionController
 from ..obs.events import emit_event
 from ..obs.export import get_default_exemplars
 from ..obs.metrics import MetricsRegistry, get_default_registry
+from ..obs.slo import HealthMonitor, SLOSpec
 from ..obs.span import Span, remote_span, span
 from ..tenancy import TenancyController, TenantRegistry
 from .hashing import HashRing, spec_key
@@ -105,6 +106,8 @@ class Router:
         retry_after: float = 0.05,
         metrics: MetricsRegistry | None = None,
         tenants: TenantRegistry | None = None,
+        slos: Sequence[SLOSpec] = (),
+        monitor_interval: float = 1.0,
     ):
         if not workers:
             raise ValueError("a cluster needs at least one worker")
@@ -147,6 +150,16 @@ class Router:
             if tenants is not None
             else None
         )
+        # Readiness in cluster mode additionally requires every registered
+        # worker alive: the ring is fixed at startup and dead workers never
+        # rejoin, so the correct supervisor reaction is a restart.
+        self.monitor = HealthMonitor(
+            registry=self._metrics,
+            slos=slos,
+            interval=monitor_interval,
+            admission=self.admission,
+            workers_alive=lambda: (len(self.live_workers), len(self.workers)),
+        )
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -167,6 +180,7 @@ class Router:
         max_inflight: int | None = None,
         max_queue_depth: int | None = None,
         tenants: TenantRegistry | None = None,
+        slos: Sequence[SLOSpec] = (),
     ) -> "Router":
         """A router over ``n_workers`` in-process thread workers.
 
@@ -208,6 +222,7 @@ class Router:
             max_inflight=max_inflight,
             max_queue_depth=max_queue_depth,
             tenants=tenants,
+            slos=slos,
         )
 
     @classmethod
@@ -225,6 +240,7 @@ class Router:
         max_inflight: int | None = None,
         max_queue_depth: int | None = None,
         tenants: TenantRegistry | None = None,
+        slos: Sequence[SLOSpec] = (),
     ) -> "Router":
         """A router over ``n_workers`` spawned ``repro serve`` subprocesses.
 
@@ -263,6 +279,7 @@ class Router:
             max_inflight=max_inflight,
             max_queue_depth=max_queue_depth,
             tenants=tenants,
+            slos=slos,
         )
 
     # ----------------------------------------------------------------- routing
@@ -660,6 +677,7 @@ class Router:
         }
         if self.tenancy is not None:
             snapshot["tenancy"] = self.tenancy.snapshot(tenant or None)
+        snapshot.update(self.monitor.sections(prefix))
         if reset:
             self._metrics.reset()
         return snapshot
@@ -686,6 +704,7 @@ class Router:
         if self._closed:
             return
         self._closed = True
+        self.monitor.stop()
         self._pool.shutdown(wait=True)
         for worker in self.workers.values():
             worker.close()

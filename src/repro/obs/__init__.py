@@ -1,7 +1,7 @@
 """Observability layer: metrics, tracing, events, export, admission control.
 
 The serving stack (engine → batcher → cache → router) grew fast; this
-package is the measurement layer that keeps it honest.  Six pieces:
+package is the measurement layer that keeps it honest.  Nine pieces:
 
 * :mod:`repro.obs.metrics` — a dependency-free metrics core: thread-safe
   :class:`Counter`, :class:`Gauge` and fixed-bucket latency
@@ -30,6 +30,15 @@ package is the measurement layer that keeps it honest.  Six pieces:
   (retry-after hint, queue depth, inflight count) instead of queueing
   unboundedly, plus a :class:`PriorityLock` so higher-priority batches
   dequeue first.
+* :mod:`repro.obs.timeseries` — rolling ring-buffer views over the
+  registry: windowed counter rates/deltas, gauge stats and histogram
+  percentiles over 10s/1m/5m, sampled off the request path.
+* :mod:`repro.obs.slo` — declarative latency/error-budget objectives
+  (per-service and per-tenant) evaluated with multi-window burn-rate
+  rules; a :class:`HealthMonitor` turns them into ``slo.breach`` events,
+  an ``alerts`` stats section and ``/healthz`` + ``/readyz`` probes.
+* :mod:`repro.obs.diagnostics` — one-shot ``repro doctor`` bundles
+  (config, snapshot, rolling windows, alerts, event tail, thread stacks).
 
 Snapshots are exposed end-to-end: the ``stats`` wire type
 (:class:`repro.api.stats_spec.StatsSpec`), :meth:`repro.api.Client.stats`,
@@ -43,6 +52,7 @@ from .admission import (
     serve_stats_in_thread,
     start_stats_server,
 )
+from .diagnostics import build_bundle, thread_stacks
 from .events import (
     EventLog,
     configure_default_event_log,
@@ -58,26 +68,36 @@ from .metrics import (
     MetricsRegistry,
     get_default_registry,
 )
+from .slo import HealthMonitor, SLOEngine, SLOSpec, load_slos
 from .span import Span, remote_span, set_tracing, span, tracing_enabled
+from .timeseries import DEFAULT_WINDOWS, TimeSeriesSampler, parse_window
 from .trace import Trace, new_trace_id
 
 __all__ = [
     "AdmissionController",
     "Counter",
+    "DEFAULT_WINDOWS",
     "EventLog",
     "ExemplarStore",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
     "PriorityLock",
+    "SLOEngine",
+    "SLOSpec",
     "Span",
+    "TimeSeriesSampler",
     "Trace",
+    "build_bundle",
     "configure_default_event_log",
     "emit_event",
     "get_default_event_log",
     "get_default_exemplars",
     "get_default_registry",
+    "load_slos",
     "new_trace_id",
+    "parse_window",
     "remote_span",
     "render_prometheus",
     "render_waterfall",
@@ -85,5 +105,6 @@ __all__ = [
     "set_tracing",
     "span",
     "start_stats_server",
+    "thread_stacks",
     "tracing_enabled",
 ]

@@ -206,7 +206,12 @@ def _http_response(
 
 
 async def start_stats_server(
-    snapshot_fn: Callable[[], dict], host: str = "127.0.0.1", port: int = 0
+    snapshot_fn: Callable[[], dict],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    monitor: Any = None,
+    doctor_fn: Callable[[], dict] | None = None,
 ) -> asyncio.AbstractServer:
     """The ``serve --stats-port`` side channel, with content negotiation.
 
@@ -216,13 +221,58 @@ async def start_stats_server(
 
     * **HTTP** (``GET``/``HEAD``) — ``/metrics`` answers the snapshot's
       ``"metrics"`` section in Prometheus text format 0.0.4 (with exemplar
-      comments when the snapshot carries an ``"exemplars"`` section); any
-      other path answers the full snapshot as JSON.  ``curl``-able and
-      scrapeable by stock Prometheus.
+      comments when the snapshot carries an ``"exemplars"`` section);
+      ``/healthz`` and ``/readyz`` are liveness/readiness probes backed by
+      the service's :class:`~repro.obs.slo.HealthMonitor` (``/readyz``
+      answers **503** while not ready — a page-severity alert firing,
+      admission saturated, or a cluster worker dead — so a stock HTTP
+      health check needs no JSON parsing); ``/doctor`` answers a one-shot
+      diagnostic bundle (:mod:`repro.obs.diagnostics`); any other path
+      answers the full snapshot as JSON.  ``curl``-able and scrapeable by
+      stock Prometheus.
     * **legacy** — a client that connects and just reads (the pre-existing
       ``repro stats --stats-port`` contract) receives one JSON snapshot
       line after a short sniff timeout, exactly as before.
     """
+
+    def json_body(payload: Any) -> str:
+        return json.dumps(payload, ensure_ascii=False) + "\n"
+
+    def route(path: str) -> tuple[str, str, str]:
+        """``(status, content-type, body)`` for one HTTP path."""
+        json_type = "application/json; charset=utf-8"
+        if path in ("/metrics", "/metrics/"):
+            from .export import render_prometheus
+
+            payload = snapshot_payload()
+            body = render_prometheus(
+                payload.get("metrics", {}), exemplars=payload.get("exemplars")
+            )
+            return "200 OK", "text/plain; version=0.0.4; charset=utf-8", body
+        if path in ("/healthz", "/healthz/"):
+            if monitor is None:
+                return "200 OK", json_type, json_body({"status": "ok"})
+            return "200 OK", json_type, json_body(monitor.health())
+        if path in ("/readyz", "/readyz/"):
+            if monitor is None:
+                return "200 OK", json_type, json_body({"ready": True})
+            ok, detail = monitor.ready()
+            status = "200 OK" if ok else "503 Service Unavailable"
+            return status, json_type, json_body(detail)
+        if path in ("/doctor", "/doctor/"):
+            if doctor_fn is not None:
+                return "200 OK", json_type, json_body(doctor_fn())
+            from .diagnostics import build_bundle
+
+            bundle = build_bundle(snapshot_fn=snapshot_fn, monitor=monitor)
+            return "200 OK", json_type, json_body(bundle)
+        return "200 OK", json_type, json_body(snapshot_payload())
+
+    def snapshot_payload() -> dict:
+        try:
+            return snapshot_fn()
+        except Exception as exc:  # never kill the endpoint over one snapshot
+            return {"error": str(exc)}
 
     async def handle(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -231,10 +281,6 @@ async def start_stats_server(
             first = await asyncio.wait_for(reader.readline(), timeout=0.25)
         except (asyncio.TimeoutError, ConnectionError):
             first = b""  # silent client: legacy one-JSON-line dialect
-        try:
-            payload = snapshot_fn()
-        except Exception as exc:  # never kill the endpoint over one snapshot
-            payload = {"error": str(exc)}
         try:
             request = first.decode("latin-1", "replace").strip()
             parts = request.split()
@@ -248,34 +294,15 @@ async def start_stats_server(
                         break
                 head = parts[0] == "HEAD"
                 path = parts[1].split("?", 1)[0]
-                if path in ("/metrics", "/metrics/"):
-                    from .export import render_prometheus
-
-                    body = render_prometheus(
-                        payload.get("metrics", {}),
-                        exemplars=payload.get("exemplars"),
-                    )
-                    writer.write(
-                        _http_response(
-                            "200 OK",
-                            "text/plain; version=0.0.4; charset=utf-8",
-                            body,
-                            head=head,
-                        )
-                    )
-                else:
-                    writer.write(
-                        _http_response(
-                            "200 OK",
-                            "application/json; charset=utf-8",
-                            json.dumps(payload, ensure_ascii=False) + "\n",
-                            head=head,
-                        )
-                    )
+                try:
+                    status, content_type, body = route(path)
+                except Exception as exc:  # a broken route answers, not drops
+                    status = "500 Internal Server Error"
+                    content_type = "application/json; charset=utf-8"
+                    body = json_body({"error": str(exc)})
+                writer.write(_http_response(status, content_type, body, head=head))
             else:
-                writer.write(
-                    (json.dumps(payload, ensure_ascii=False) + "\n").encode()
-                )
+                writer.write(json_body(snapshot_payload()).encode())
             await writer.drain()
         except ConnectionError:
             pass
@@ -286,7 +313,12 @@ async def start_stats_server(
 
 
 def serve_stats_in_thread(
-    snapshot_fn: Callable[[], dict], host: str = "127.0.0.1", port: int = 0
+    snapshot_fn: Callable[[], dict],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    monitor: Any = None,
+    doctor_fn: Callable[[], dict] | None = None,
 ) -> int | None:
     """Run :func:`start_stats_server` on a daemon thread; returns the port.
 
@@ -299,7 +331,9 @@ def serve_stats_in_thread(
 
     def run() -> None:
         async def main() -> None:
-            server = await start_stats_server(snapshot_fn, host, port)
+            server = await start_stats_server(
+                snapshot_fn, host, port, monitor=monitor, doctor_fn=doctor_fn
+            )
             sockets = server.sockets or []
             if sockets:
                 bound["port"] = sockets[0].getsockname()[1]

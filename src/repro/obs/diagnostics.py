@@ -1,0 +1,125 @@
+"""One-shot diagnostic bundles: everything a postmortem needs, in one JSON.
+
+``repro doctor`` (and the ``/doctor`` route on the stats port) answer the
+question "what was this process doing *right then*" with a single
+self-contained document: process identity, effective configuration, a full
+stats snapshot, the rolling time-series windows, the firing alerts and SLO
+states that justify them, the last N structured events, and a
+``faulthandler`` dump of every thread's stack (the part no metric can
+reconstruct after the fact).
+
+Bundles are built **inside** the serving process — thread stacks of the
+`repro doctor` CLI process would be useless — and contain only what the
+process already knows: no filesystem scans, no network calls, bounded
+size.  Timestamps in here are monotonic (uptime-relative) like the rest of
+:mod:`repro.obs`; the CLI stamps wall-clock capture time on the client
+side where a stepped clock can do no harm.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import platform
+import sys
+import tempfile
+import threading
+from typing import Any, Callable, Mapping
+
+from .events import get_default_event_log
+
+#: Default number of trailing events included in a bundle.
+DEFAULT_EVENT_TAIL = 200
+
+
+def thread_stacks() -> str:
+    """Every thread's current stack, via :func:`faulthandler.dump_traceback`.
+
+    ``faulthandler`` writes through a real file descriptor (it is designed
+    to work from signal handlers), so the dump goes through an anonymous
+    temporary file rather than ``io.StringIO``.
+    """
+    with tempfile.TemporaryFile(mode="w+") as sink:
+        faulthandler.dump_traceback(file=sink, all_threads=True)
+        sink.seek(0)
+        return sink.read()
+
+
+def process_info() -> dict[str, Any]:
+    """Identity of the process the bundle describes."""
+    import os
+
+    return {
+        "pid": os.getpid(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+        "threads": sorted(thread.name for thread in threading.enumerate()),
+    }
+
+
+def build_bundle(
+    *,
+    snapshot_fn: Callable[[], Mapping[str, Any]] | None = None,
+    monitor: Any = None,
+    config: Mapping[str, Any] | None = None,
+    event_log: Any = None,
+    max_events: int = DEFAULT_EVENT_TAIL,
+) -> dict[str, Any]:
+    """Assemble one diagnostic bundle (plain JSON-able dict).
+
+    Parameters
+    ----------
+    snapshot_fn:
+        Zero-argument stats-snapshot callable (the same one the stats port
+        serves).  Its result lands under ``"snapshot"`` — including the
+        monitor-derived ``alerts``/``slos``/``timeseries``/``health``
+        sections when the service carries a monitor.
+    monitor:
+        Optional :class:`~repro.obs.slo.HealthMonitor`; when given, its
+        sections are *also* hoisted to the bundle top level so a breach is
+        visible without digging, even if ``snapshot_fn`` is absent.
+    config:
+        The effective serve configuration (flags, tenants, SLOs).
+    event_log:
+        Event log to tail (process default when ``None``).
+    max_events:
+        Trailing events to include (bounded bundle size).
+    """
+    bundle: dict[str, Any] = {
+        "bundle": "repro-doctor",
+        "version": 1,
+        "process": process_info(),
+    }
+    if config is not None:
+        bundle["config"] = dict(config)
+    errors: dict[str, str] = {}
+    if snapshot_fn is not None:
+        try:
+            bundle["snapshot"] = dict(snapshot_fn())
+        except Exception as exc:  # a broken snapshot must not break doctor
+            errors["snapshot"] = f"{type(exc).__name__}: {exc}"
+    if monitor is not None:
+        try:
+            sections = monitor.sections()
+            bundle["alerts"] = sections["alerts"]
+            bundle["slos"] = sections["slos"]
+            bundle["timeseries"] = sections["timeseries"]
+            bundle["health"] = sections["health"]
+        except Exception as exc:
+            errors["monitor"] = f"{type(exc).__name__}: {exc}"
+    log = event_log if event_log is not None else get_default_event_log()
+    try:
+        events = log.events()
+        bundle["events"] = events[-max_events:] if max_events else events
+    except Exception as exc:
+        errors["events"] = f"{type(exc).__name__}: {exc}"
+    try:
+        bundle["thread_stacks"] = thread_stacks()
+    except Exception as exc:
+        errors["thread_stacks"] = f"{type(exc).__name__}: {exc}"
+    if errors:
+        bundle["errors"] = errors
+    return bundle
+
+
+__all__ = ["DEFAULT_EVENT_TAIL", "build_bundle", "process_info", "thread_stacks"]

@@ -38,9 +38,14 @@ from typing import Any, IO, Iterable, Mapping
 ENV_EVENTS_FILE = "REPRO_EVENTS_FILE"
 ENV_EVENTS_SAMPLE = "REPRO_EVENTS_SAMPLE"
 ENV_EVENTS_CAPACITY = "REPRO_EVENTS_CAPACITY"
+ENV_EVENTS_MAX_BYTES = "REPRO_EVENTS_MAX_BYTES"
+ENV_EVENTS_KEEP = "REPRO_EVENTS_KEEP"
 
 #: Default ring-buffer capacity (events kept in memory).
 DEFAULT_CAPACITY = 4096
+
+#: Default rotated files kept alongside the live sink (``<path>.1``..``.K``).
+DEFAULT_ROTATED_KEEP = 3
 
 
 def sample_decision(trace_id: str, rate: float) -> bool:
@@ -71,6 +76,15 @@ class EventLog:
     sample_rate:
         Fraction of traces whose events are kept (head-based, by trace id).
         Trace-less events are always kept.
+    max_bytes:
+        Size-based rotation bound for the file sink: once the live file
+        reaches this many bytes it is rotated to ``<path>.1`` (older
+        rotations shifting to ``.2`` … ``.keep``, the oldest deleted) and a
+        fresh file is started — so a long-running ``serve`` never grows the
+        event log unboundedly.  ``None`` (default) disables rotation.
+    keep:
+        Rotated files retained beyond the live one (``0`` = rotate by
+        truncation, discarding history).
     """
 
     def __init__(
@@ -78,14 +92,24 @@ class EventLog:
         capacity: int = DEFAULT_CAPACITY,
         path: str | os.PathLike | None = None,
         sample_rate: float = 1.0,
+        *,
+        max_bytes: int | None = None,
+        keep: int = DEFAULT_ROTATED_KEEP,
     ):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError("sample_rate must be within [0, 1]")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None to disable)")
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
         self.capacity = capacity
         self.path = os.fspath(path) if path is not None else None
         self.sample_rate = sample_rate
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self.rotations = 0
         self.dropped = 0
         self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
         self._lock = threading.Lock()
@@ -151,7 +175,38 @@ class EventLog:
                 self._file = open(self.path, "a", encoding="utf-8")
             self._file.write(json.dumps(event, ensure_ascii=False) + "\n")
             self._file.flush()
+            if self.max_bytes is not None and self._file.tell() >= self.max_bytes:
+                self._rotate_locked()
         return True
+
+    def _rotate_locked(self) -> None:
+        """Shift ``path → path.1 → … → path.keep`` and start a fresh file.
+
+        Rotation is per-process: when several workers share one inherited
+        sink each rotates independently, which at worst rotates a little
+        early — the bound still holds.  Failures (e.g. a rotated file
+        vanishing underneath us) are swallowed: losing a rotation beats
+        killing the instrumented request.
+        """
+        assert self.path is not None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        try:
+            if self.keep == 0:
+                os.remove(self.path)
+            else:
+                for index in range(self.keep - 1, 0, -1):
+                    older = f"{self.path}.{index}"
+                    if os.path.exists(older):
+                        os.replace(older, f"{self.path}.{index + 1}")
+                os.replace(self.path, f"{self.path}.1")
+            self.rotations += 1
+            # Reopen immediately so the live path always exists — readers
+            # (``repro trace``, ``tail -f``) never see it vanish.
+            self._file = open(self.path, "a", encoding="utf-8")
+        except OSError:
+            pass
 
     # ----------------------------------------------------------------- query
     def events(
@@ -192,7 +247,16 @@ def _log_from_env() -> EventLog:
     capacity = int(os.environ.get(ENV_EVENTS_CAPACITY, DEFAULT_CAPACITY))
     rate = float(os.environ.get(ENV_EVENTS_SAMPLE, 1.0))
     path = os.environ.get(ENV_EVENTS_FILE) or None
-    return EventLog(capacity=capacity, path=path, sample_rate=rate)
+    max_bytes_raw = os.environ.get(ENV_EVENTS_MAX_BYTES)
+    max_bytes = int(max_bytes_raw) if max_bytes_raw else None
+    keep = int(os.environ.get(ENV_EVENTS_KEEP, DEFAULT_ROTATED_KEEP))
+    return EventLog(
+        capacity=capacity,
+        path=path,
+        sample_rate=rate,
+        max_bytes=max_bytes,
+        keep=keep,
+    )
 
 
 def get_default_event_log() -> EventLog:
@@ -217,19 +281,31 @@ def configure_default_event_log(
     capacity: int | None = None,
     path: str | os.PathLike | None = None,
     sample_rate: float | None = None,
+    max_bytes: int | None = None,
+    keep: int | None = None,
     export_env: bool = False,
 ) -> EventLog:
     """Replace the process-default log (tests, CLI ``serve --events-file``).
 
-    With ``export_env`` the file path and sample rate are written back into
+    ``max_bytes``/``keep`` default from the environment
+    (``REPRO_EVENTS_MAX_BYTES`` / ``REPRO_EVENTS_KEEP``) so a supervisor can
+    cap the sink without touching serve flags.  With ``export_env`` the file
+    path, sample rate and rotation bound are written back into
     ``os.environ``, so subprocess workers spawned later inherit the same
-    sink and sampling verdicts.
+    sink, sampling verdicts and growth cap.
     """
     global _default_log
+    if max_bytes is None:
+        max_bytes_raw = os.environ.get(ENV_EVENTS_MAX_BYTES)
+        max_bytes = int(max_bytes_raw) if max_bytes_raw else None
+    if keep is None:
+        keep = int(os.environ.get(ENV_EVENTS_KEEP, DEFAULT_ROTATED_KEEP))
     log = EventLog(
         capacity=capacity if capacity is not None else DEFAULT_CAPACITY,
         path=path,
         sample_rate=sample_rate if sample_rate is not None else 1.0,
+        max_bytes=max_bytes,
+        keep=keep,
     )
     with _default_lock:
         old, _default_log = _default_log, log
@@ -239,6 +315,9 @@ def configure_default_event_log(
         if log.path is not None:
             os.environ[ENV_EVENTS_FILE] = log.path
         os.environ[ENV_EVENTS_SAMPLE] = repr(log.sample_rate)
+        if log.max_bytes is not None:
+            os.environ[ENV_EVENTS_MAX_BYTES] = str(log.max_bytes)
+            os.environ[ENV_EVENTS_KEEP] = str(log.keep)
     return log
 
 
@@ -356,8 +435,11 @@ def render_waterfall(
 
 __all__ = [
     "DEFAULT_CAPACITY",
+    "DEFAULT_ROTATED_KEEP",
     "ENV_EVENTS_CAPACITY",
     "ENV_EVENTS_FILE",
+    "ENV_EVENTS_KEEP",
+    "ENV_EVENTS_MAX_BYTES",
     "ENV_EVENTS_SAMPLE",
     "EventLog",
     "configure_default_event_log",

@@ -218,6 +218,17 @@ class Histogram:
             payload["buckets"] = buckets
             return payload
 
+    def bucket_counts(self) -> tuple[tuple[int, ...], int, float]:
+        """One consistent ``(counts, count, sum)`` view of the distribution.
+
+        ``counts`` includes the trailing overflow bucket and is read under
+        the histogram lock, so the tuple is never torn against a concurrent
+        :meth:`observe` — the contract the rolling time-series layer
+        (:mod:`repro.obs.timeseries`) samples against.
+        """
+        with self._lock:
+            return tuple(self._counts), self._count, self._sum
+
     def reset(self) -> None:
         with self._lock:
             self._counts = [0] * (len(self.bounds) + 1)
@@ -278,6 +289,20 @@ class MetricsRegistry:
             else:
                 histograms[name] = metric.to_payload()
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def items(self, prefix: str = "") -> "list[tuple[str, Counter | Gauge | Histogram]]":
+        """The live metric objects (optionally name-filtered), sorted by name.
+
+        Unlike :meth:`snapshot` this hands out the objects themselves — the
+        time-series sampler reads them directly so one sampling pass costs
+        one small lock per metric instead of a full payload render.
+        """
+        with self._lock:
+            return [
+                (name, metric)
+                for name, metric in sorted(self._metrics.items())
+                if name.startswith(prefix)
+            ]
 
     def counter_values(self, prefix: str = "") -> Mapping[str, int]:
         """Just the counter totals (convenient for assertions and CLIs)."""

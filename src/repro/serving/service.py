@@ -56,6 +56,7 @@ from ..obs.admission import AdmissionController
 from ..obs.events import emit_event
 from ..obs.export import get_default_exemplars
 from ..obs.metrics import MetricsRegistry, get_default_registry
+from ..obs.slo import HealthMonitor, SLOSpec
 from ..obs.span import remote_span
 from ..obs.trace import Trace
 from ..tenancy import DEFAULT_TENANT, TenancyController, TenantRegistry, WeightedFairLock
@@ -105,6 +106,8 @@ class ServingService:
         retry_after: float = 0.05,
         metrics: MetricsRegistry | None = None,
         tenants: TenantRegistry | None = None,
+        slos: Sequence[SLOSpec] = (),
+        monitor_interval: float = 1.0,
     ):
         self.pipeline = pipeline
         self._metrics = metrics or get_default_registry()
@@ -123,6 +126,15 @@ class ServingService:
             TenancyController(tenants, retry_after=retry_after, metrics=self._metrics)
             if tenants is not None
             else None
+        )
+        # Always present (probes and the timeseries/alerts stats sections
+        # work without any SLO configured); its background loop only runs
+        # when a front-end calls monitor.start().
+        self.monitor = HealthMonitor(
+            registry=self._metrics,
+            slos=slos,
+            interval=monitor_interval,
+            admission=self.admission,
         )
         # One batch at a time: the pipeline's rng and the engine's report are
         # shared state, so concurrent TCP connections take turns here (their
@@ -356,6 +368,7 @@ class ServingService:
         }
         if self.tenancy is not None:
             snapshot["tenancy"] = self.tenancy.snapshot(tenant or None)
+        snapshot.update(self.monitor.sections(prefix))
         if reset:
             self._metrics.reset()
         return snapshot
@@ -636,6 +649,8 @@ def build_service(
     max_inflight: int | None = None,
     max_queue_depth: int | None = None,
     tenants: TenantRegistry | None = None,
+    slos: Sequence[SLOSpec] = (),
+    monitor_interval: float = 1.0,
 ) -> ServingService:
     """Assemble the default serving stack: simulated LLM → cache → engine."""
     if llm is None:
@@ -650,6 +665,8 @@ def build_service(
         max_inflight=max_inflight,
         max_queue_depth=max_queue_depth,
         tenants=tenants,
+        slos=slos,
+        monitor_interval=monitor_interval,
     )
 
 

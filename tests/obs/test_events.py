@@ -160,3 +160,90 @@ def test_render_waterfall_handles_unknown_trace_and_orphans():
         trace,
     )
     assert "orphan" in rendered
+
+
+# ------------------------------------------------------------------- rotation
+def test_rotation_caps_file_size_and_keeps_history(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(capacity=64, path=path, max_bytes=2000, keep=2)
+    for index in range(200):
+        log.emit("tick", index=index, pad="x" * 40)
+    log.close()
+
+    assert log.rotations > 0
+    rotated = sorted(p.name for p in tmp_path.iterdir())
+    assert "events.jsonl" in rotated
+    assert "events.jsonl.1" in rotated
+    # Never more than keep rotated files beside the live one.
+    assert len(rotated) <= 3
+    # The live file respects the cap (plus at most one overshooting record).
+    assert path.stat().st_size <= 2000 + 200
+    # Rotated files hold older events than the live one (which may be
+    # freshly rotated and still empty).
+    live = read_events(path)
+    older = read_events(tmp_path / "events.jsonl.1")
+    assert older
+    if live:
+        assert older[-1]["index"] < live[0]["index"]
+    # Nothing was lost inside the retained window: indexes stay contiguous.
+    retained = [
+        event["index"]
+        for name in ("events.jsonl.2", "events.jsonl.1", "events.jsonl")
+        if (tmp_path / name).exists()
+        for event in read_events(tmp_path / name)
+    ]
+    assert retained == list(range(retained[0], 200))
+
+
+def test_rotation_keep_zero_truncates(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(capacity=64, path=path, max_bytes=500, keep=0)
+    for index in range(100):
+        log.emit("tick", index=index, pad="y" * 40)
+    log.close()
+    assert log.rotations > 0
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["events.jsonl"]
+    assert path.stat().st_size <= 500 + 100
+
+
+def test_rotation_validation():
+    with pytest.raises(ValueError):
+        EventLog(max_bytes=0)
+    with pytest.raises(ValueError):
+        EventLog(keep=-1)
+
+
+def test_rotation_config_from_env(tmp_path, monkeypatch):
+    from repro.obs.events import (
+        ENV_EVENTS_KEEP,
+        ENV_EVENTS_MAX_BYTES,
+        _log_from_env,
+    )
+
+    monkeypatch.setenv("REPRO_EVENTS_FILE", str(tmp_path / "e.jsonl"))
+    monkeypatch.setenv(ENV_EVENTS_MAX_BYTES, "1234")
+    monkeypatch.setenv(ENV_EVENTS_KEEP, "5")
+    log = _log_from_env()
+    try:
+        assert log.max_bytes == 1234
+        assert log.keep == 5
+    finally:
+        log.close()
+
+
+def test_configure_default_exports_rotation_env(tmp_path, monkeypatch):
+    import os
+
+    monkeypatch.delenv("REPRO_EVENTS_MAX_BYTES", raising=False)
+    monkeypatch.delenv("REPRO_EVENTS_KEEP", raising=False)
+    log = configure_default_event_log(
+        path=tmp_path / "e.jsonl", max_bytes=4096, keep=1, export_env=True
+    )
+    try:
+        assert os.environ["REPRO_EVENTS_MAX_BYTES"] == "4096"
+        assert os.environ["REPRO_EVENTS_KEEP"] == "1"
+    finally:
+        log.close()
+        monkeypatch.delenv("REPRO_EVENTS_MAX_BYTES", raising=False)
+        monkeypatch.delenv("REPRO_EVENTS_KEEP", raising=False)
+        configure_default_event_log()

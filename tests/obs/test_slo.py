@@ -1,0 +1,275 @@
+"""SLO engine tests: spec parsing, burn-rate evaluation, alert lifecycle.
+
+Tentpole acceptance: declarative objectives evaluate against the rolling
+time-series with the multi-window rule (every window must breach at once),
+transitions emit ``slo.breach``/``slo.recovered`` exactly once per flip,
+and tenant-scoped specs default their metrics to the tenant's prefix.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import SLOEngine, SLOSpec, load_slos
+from repro.obs.timeseries import TimeSeriesSampler
+
+
+class FakeClock:
+    def __init__(self, now=500.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_engine(specs, *, registry=None, interval=1.0):
+    registry = registry if registry is not None else MetricsRegistry()
+    clock = FakeClock()
+    sampler = TimeSeriesSampler(registry, interval=interval, clock=clock)
+    events = []
+
+    def emit(kind, **fields):
+        events.append({"kind": kind, **fields})
+        return True
+
+    engine = SLOEngine(
+        sampler, specs, clock=clock, metrics=registry, events=emit
+    )
+    return engine, sampler, clock, registry, events
+
+
+# ----------------------------------------------------------------------- specs
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SLOSpec(name="")
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", kind="availability")
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", kind="latency")  # latency needs a threshold
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", kind="error_rate", budget=0.0)
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", kind="latency", threshold=0.1, severity="sev1")
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", kind="latency", threshold=0.1, windows=())
+
+
+def test_spec_tenant_metric_defaults():
+    latency = SLOSpec(name="lat", kind="latency", tenant="acme", threshold=0.1)
+    assert latency.resolved_metric() == "tenant.acme.latency"
+    errors = SLOSpec(name="err", kind="error_rate", tenant="acme")
+    assert errors.resolved_metric() == "tenant.acme.rate_limited"
+    assert set(errors.resolved_total()) == {
+        "tenant.acme.admitted",
+        "tenant.acme.rate_limited",
+    }
+
+
+def test_spec_explicit_metrics_win():
+    spec = SLOSpec(
+        name="lat",
+        kind="latency",
+        metric="service.batch_latency",
+        threshold=0.25,
+        tenant="acme",
+    )
+    assert spec.resolved_metric() == "service.batch_latency"
+
+
+def test_parse_inline_full_form():
+    spec = SLOSpec.parse_inline(
+        "checkout-p99,kind=latency,tenant=acme,threshold=0.2,percentile=99,"
+        "windows=10s:1m,severity=ticket"
+    )
+    assert spec.name == "checkout-p99"
+    assert spec.tenant == "acme"
+    assert spec.percentile == pytest.approx(0.99)  # percent form accepted
+    assert spec.windows == ("10s", "1m")
+    assert spec.severity == "ticket"
+
+
+def test_parse_inline_rejects_unknown_knob():
+    with pytest.raises(ValueError):
+        SLOSpec.parse_inline("x,kind=latency,threshold=0.1,color=red")
+
+
+def test_load_slos_round_trips(tmp_path):
+    spec = SLOSpec(name="shed", kind="error_rate", tenant="acme", budget=0.05)
+    path = tmp_path / "slos.json"
+    path.write_text(json.dumps({"shed": spec.to_payload()}))
+    loaded = load_slos(path)
+    assert len(loaded) == 1
+    assert loaded[0].name == spec.name
+    assert loaded[0].budget == spec.budget
+    assert loaded[0].resolved_metric() == spec.resolved_metric()
+    assert loaded[0].to_payload() == spec.to_payload()
+
+
+# ------------------------------------------------------------------ evaluation
+def drive_latency(registry, sampler, clock, seconds, value, per_tick=20):
+    latency = registry.histogram("tenant.acme.latency")
+    for _ in range(int(seconds)):
+        for _ in range(per_tick):
+            latency.observe(value)
+        clock.advance(1.0)
+        sampler.sample()
+
+
+def test_latency_breach_and_recovery_emit_once():
+    spec = SLOSpec(
+        name="lat",
+        kind="latency",
+        tenant="acme",
+        threshold=0.05,
+        percentile=0.99,
+        windows=("10s",),
+    )
+    engine, sampler, clock, registry, events = make_engine([spec])
+
+    drive_latency(registry, sampler, clock, 12, 0.001)
+    assert engine.evaluate() == []  # fast traffic: quiet
+
+    drive_latency(registry, sampler, clock, 12, 0.4)
+    alerts = engine.evaluate()
+    assert [a["slo"] for a in alerts] == ["lat"]
+    engine.evaluate()  # still breaching: no second event
+    assert [e["kind"] for e in events] == ["slo.breach"]
+    assert events[0]["slo_kind"] == "latency"
+    assert events[0]["tenant"] == "acme"
+
+    drive_latency(registry, sampler, clock, 15, 0.001)
+    assert engine.evaluate() == []
+    assert [e["kind"] for e in events] == ["slo.breach", "slo.recovered"]
+    # Counters reflect the lifecycle.
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["slo.breaches"] == 1
+    assert snapshot["counters"]["slo.recoveries"] == 1
+    assert snapshot["gauges"]["slo.firing"] == {"high_water": 1, "value": 0}
+
+
+def test_multi_window_rule_requires_all_windows():
+    spec = SLOSpec(
+        name="lat",
+        kind="latency",
+        tenant="acme",
+        threshold=0.05,
+        windows=("10s", "1m"),
+    )
+    engine, sampler, clock, registry, events = make_engine([spec])
+
+    # A long quiet baseline, then a 10s spike: the 10s window breaches but
+    # the 1m window (dominated by fast traffic) does not -> no alert.
+    drive_latency(registry, sampler, clock, 70, 0.001, per_tick=100)
+    drive_latency(registry, sampler, clock, 10, 0.4, per_tick=5)
+    assert engine.evaluate() == []
+
+    # Sustained slowness breaches both windows together.
+    drive_latency(registry, sampler, clock, 70, 0.4, per_tick=100)
+    assert [a["slo"] for a in engine.evaluate()] == ["lat"]
+
+
+def test_error_rate_burn_and_budget():
+    spec = SLOSpec(
+        name="shed",
+        kind="error_rate",
+        tenant="acme",
+        budget=0.1,
+        burn_rate=2.0,
+        windows=("10s",),
+        severity="ticket",
+    )
+    engine, sampler, clock, registry, events = make_engine([spec])
+    admitted = registry.counter("tenant.acme.admitted")
+    limited = registry.counter("tenant.acme.rate_limited")
+
+    # 5% shed: half the budget, burn 0.5 < 2.0 -> quiet.
+    for _ in range(12):
+        admitted.inc(95)
+        limited.inc(5)
+        clock.advance(1.0)
+        sampler.sample()
+    assert engine.evaluate() == []
+    payload = engine.payload()
+    assert payload["shed"]["budget_remaining"] == pytest.approx(0.5)
+
+    # 40% shed: burn 4.0 >= 2.0 -> firing, budget exhausted.
+    for _ in range(12):
+        admitted.inc(60)
+        limited.inc(40)
+        clock.advance(1.0)
+        sampler.sample()
+    alerts = engine.evaluate()
+    assert alerts and alerts[0]["severity"] == "ticket"
+    assert alerts[0]["windows"]["10s"]["burn"] == pytest.approx(4.0)
+    assert engine.payload()["shed"]["budget_remaining"] == 0.0
+
+
+def test_no_data_is_not_a_breach():
+    specs = [
+        SLOSpec(name="lat", kind="latency", tenant="ghost", threshold=0.01),
+        SLOSpec(name="err", kind="error_rate", tenant="ghost"),
+    ]
+    engine, sampler, clock, _, _ = make_engine(specs)
+    clock.advance(1.0)
+    sampler.sample()
+    clock.advance(1.0)
+    sampler.sample()
+    assert engine.evaluate() == []
+
+
+def test_duplicate_names_rejected():
+    spec = SLOSpec(name="dup", kind="error_rate", tenant="acme")
+    with pytest.raises(ValueError):
+        make_engine([spec, spec])
+
+
+def test_alerts_sorted_page_first():
+    specs = [
+        SLOSpec(
+            name="t", kind="error_rate", tenant="acme", severity="ticket",
+            budget=0.01, windows=("10s",),
+        ),
+        SLOSpec(
+            name="p", kind="error_rate", tenant="acme", severity="page",
+            budget=0.01, windows=("10s",),
+        ),
+    ]
+    engine, sampler, clock, registry, _ = make_engine(specs)
+    limited = registry.counter("tenant.acme.rate_limited")
+    admitted = registry.counter("tenant.acme.admitted")
+    for _ in range(12):
+        limited.inc(50)
+        admitted.inc(50)
+        clock.advance(1.0)
+        sampler.sample()
+    alerts = engine.evaluate()
+    assert [a["severity"] for a in alerts] == ["page", "ticket"]
+    assert engine.page_firing() is True
+
+
+def test_broken_event_sink_does_not_break_evaluation():
+    spec = SLOSpec(
+        name="shed", kind="error_rate", tenant="acme", budget=0.01,
+        windows=("10s",),
+    )
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    sampler = TimeSeriesSampler(registry, clock=clock)
+
+    def explode(kind, **fields):
+        raise RuntimeError("sink down")
+
+    engine = SLOEngine(sampler, [spec], clock=clock, metrics=registry, events=explode)
+    limited = registry.counter("tenant.acme.rate_limited")
+    admitted = registry.counter("tenant.acme.admitted")
+    for _ in range(12):
+        limited.inc(50)
+        admitted.inc(50)
+        clock.advance(1.0)
+        sampler.sample()
+    alerts = engine.evaluate()  # must not raise
+    assert [a["slo"] for a in alerts] == ["shed"]

@@ -77,3 +77,138 @@ def test_cli_serve_stdin(capsys, monkeypatch):
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ---------------------------------------------------------- top / doctor / slo
+@pytest.fixture()
+def live_stats_port():
+    """A stats side channel backed by a real service with SLOs configured."""
+    from repro.obs import serve_stats_in_thread
+    from repro.obs.diagnostics import build_bundle
+    from repro.obs.slo import SLOSpec
+    from repro.serving import build_service
+    from repro.tenancy import TenantConfig, TenantRegistry
+
+    service = build_service(
+        seed=0,
+        tenants=TenantRegistry([TenantConfig("acme", rate=100.0, burst=10.0)]),
+        slos=[
+            SLOSpec(
+                name="acme-shed", kind="error_rate", tenant="acme",
+                budget=0.1, windows=("10s",),
+            )
+        ],
+    )
+    port = serve_stats_in_thread(
+        service.stats_snapshot,
+        "127.0.0.1",
+        0,
+        monitor=service.monitor,
+        doctor_fn=lambda: build_bundle(
+            snapshot_fn=service.stats_snapshot,
+            monitor=service.monitor,
+            config={"command": "test"},
+        ),
+    )
+    assert port is not None
+    return port
+
+
+def test_cli_top_once(capsys, live_stats_port):
+    assert main(["top", "--once", "--stats-port", str(live_stats_port)]) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out
+    assert "TENANT" in out and "P99_MS" in out and "BUDGET" in out
+    assert "(service)" in out
+    assert "acme" in out  # tenant named by the SLO shows up even when idle
+
+
+def test_cli_top_unreachable_fails_cleanly(capsys):
+    assert main(["top", "--once", "--stats-port", "1", "--timeout", "0.2"]) == 1
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_cli_stats_watch_shares_the_top_renderer(capsys, live_stats_port):
+    import threading
+    import repro.cli.top as top_module
+
+    # One frame then interrupt: patch sleep to raise like a real Ctrl-C.
+    def fake_sleep(seconds):
+        raise KeyboardInterrupt
+
+    original = top_module.time.sleep
+    top_module.time.sleep = fake_sleep
+    try:
+        assert main(
+            ["stats", "--stats-port", str(live_stats_port), "--watch", "5"]
+        ) == 0
+    finally:
+        top_module.time.sleep = original
+    assert "repro top" in capsys.readouterr().out
+
+
+def test_cli_stats_non_dict_side_channel_fails_cleanly(capsys):
+    import socket
+    import threading
+
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def answer():
+        conn, _ = listener.accept()
+        conn.sendall(b"[1, 2, 3]\n")
+        conn.close()
+
+    thread = threading.Thread(target=answer, daemon=True)
+    thread.start()
+    try:
+        assert main(["stats", "--stats-port", str(port)]) == 1
+        assert "expected a JSON object" in capsys.readouterr().err
+    finally:
+        listener.close()
+        thread.join(5)
+
+
+def test_cli_doctor_writes_bundle(tmp_path, capsys, live_stats_port):
+    output = tmp_path / "bundle.json"
+    assert main(
+        ["doctor", "--stats-port", str(live_stats_port), "--output", str(output)]
+    ) == 0
+    bundle = json.loads(output.read_text())
+    assert bundle["bundle"] == "repro-doctor"
+    assert bundle["config"] == {"command": "test"}
+    assert "captured_at" in bundle and "target" in bundle
+    assert "thread_stacks" in bundle
+
+
+def test_cli_doctor_stdout(capsys, live_stats_port):
+    assert main(["doctor", "--stats-port", str(live_stats_port), "--output", "-"]) == 0
+    bundle = json.loads(capsys.readouterr().out)
+    assert bundle["bundle"] == "repro-doctor"
+
+
+def test_cli_doctor_requires_stats_port(capsys):
+    assert main(["doctor"]) == 2
+    assert "--stats-port" in capsys.readouterr().err
+
+
+def test_cli_serve_rejects_bad_slo(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "stdin", io.StringIO(""))
+    assert main(["serve", "--slo", "broken,kind=nope"]) == 2
+    assert "bad SLO configuration" in capsys.readouterr().err
+
+
+def test_cli_serve_with_slos_reports_them(capsys, monkeypatch, tmp_path):
+    slos_file = tmp_path / "slos.json"
+    slos_file.write_text(json.dumps({
+        "svc-p99": {"kind": "latency", "metric": "service.batch_latency",
+                    "threshold": 0.5, "windows": "10s"},
+    }))
+    request = {"id": 1, "type": "transformation", "value": "19990415",
+               "examples": [["20000101", "2000-01-01"]]}
+    monkeypatch.setattr(sys, "stdin", io.StringIO(json.dumps(request) + "\n"))
+    assert main(["serve", "--slos-file", str(slos_file)]) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out.splitlines()[0])["ok"]
