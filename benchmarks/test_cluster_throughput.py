@@ -168,3 +168,100 @@ def test_four_workers_double_throughput_over_one(benchmark):
         "speedup": round(speedup, 3),
     }
     write_bench("cluster", payload)
+
+
+def test_scale_up_under_load_migrates_minimally(benchmark, tmp_path):
+    """Elastic arm: live 2 -> 4 resize mid-benchmark, zero failed requests.
+
+    A warmed 2-worker cluster keeps serving the mixed workload while two
+    workers join one after the other.  The gates (``scripts/check_bench.py``):
+
+    * ``elastic.resize_error_rate`` == 0 — no request fails across resizes;
+    * ``elastic.migration_fraction`` <= 0.6 — the *average per-resize*
+      fraction of cache entries that relocated.  Consistent hashing moves
+      ~1/(N+1) per join (~0.29 averaged over 2->3->4); a naive mod-N
+      resharding would move ~0.7 and trip the cap.
+    """
+    import threading
+
+    dataset, specs = _mixed_workload()
+
+    def llm_factory(index: int) -> LatencyLLM:
+        return LatencyLLM(
+            SimulatedLLM(knowledge=dataset.knowledge, seed=0), LATENCY
+        )
+
+    outcome = {}
+
+    def elastic_run():
+        with Client.cluster(
+            workers=2,
+            llm_factory=llm_factory,
+            batch_size=8,
+            cache_dir=str(tmp_path / "shards"),
+        ) as client:
+            client.submit_many(specs)  # warm every shard
+            entries_before = sum(
+                row.cache_entries
+                for row in client.router.stats().workers
+                if row.cache_entries > 0
+            )
+            results: list = []
+            stop = threading.Event()
+
+            def pound() -> None:
+                while not stop.is_set():
+                    results.extend(client.submit_many(specs))
+
+            load = threading.Thread(target=pound)
+            started = time.perf_counter()
+            load.start()
+            try:
+                for _ in range(2):  # 2 -> 3 -> 4, requests in flight
+                    client.router.add_worker()
+            finally:
+                stop.set()
+                load.join(timeout=120)
+            elapsed = time.perf_counter() - started
+            assert not load.is_alive()
+            stats = client.router.stats()
+            outcome.update(
+                elapsed=elapsed,
+                entries_before=entries_before,
+                results=results,
+                stats=stats,
+                workers=client.workers(),
+            )
+        return results
+
+    run_once(benchmark, elastic_run)
+
+    stats = outcome["stats"]
+    results = outcome["results"]
+    assert results, "the load thread never completed a batch"
+    errors = [r for r in results if r.error is not None]
+    resize_error_rate = len(errors) / len(results)
+    assert resize_error_rate == 0.0, f"{len(errors)} requests failed mid-resize"
+    assert stats.resizes == 2
+    assert outcome["workers"] == (4, 4)
+    migration_fraction = (
+        stats.migrations / (stats.resizes * outcome["entries_before"])
+        if outcome["entries_before"]
+        else 0.0
+    )
+    assert 0.0 < migration_fraction <= 0.6
+
+    from report import load_bench
+
+    payload = load_bench("cluster")
+    payload["elastic"] = {
+        "workers_before": 2,
+        "workers_after": 4,
+        "elapsed_s": round(outcome["elapsed"], 4),
+        "requests_during_resize": len(results),
+        "resize_error_rate": resize_error_rate,
+        "entries_before": outcome["entries_before"],
+        "entries_migrated": stats.migrations,
+        "migration_fraction": round(migration_fraction, 4),
+    }
+    write_bench("cluster", payload)

@@ -47,6 +47,18 @@ GATED_METRICS: dict[str, list[tuple[str, str]]] = {
 #: Lower is better; the *fresh* value must stay at or below the absolute cap
 #: regardless of the committed baseline (a budget, not a regression ratio).
 CAPPED_METRICS: dict[str, list[tuple[str, str, float]]] = {
+    "cluster": [
+        (
+            "elastic.migration_fraction",
+            "avg per-resize fraction of cache entries migrated (2->4 live)",
+            0.6,
+        ),
+        (
+            "elastic.resize_error_rate",
+            "requests failed during a live 2->4 resize",
+            0.0,
+        ),
+    ],
     "obs": [
         (
             "overhead_ratio",

@@ -116,6 +116,24 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
         "disjoint cache shards; see repro.cluster)",
     )
     parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="with --cluster: scale the worker count between --min-workers "
+        "and --max-workers from the rolling load windows",
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=_positive_int,
+        default=1,
+        help="lower bound of --autoscale (default: 1)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=_positive_int,
+        default=8,
+        help="upper bound of --autoscale (default: 8)",
+    )
+    parser.add_argument(
         "--cluster-mode",
         choices=("thread", "process"),
         default="thread",
@@ -378,6 +396,9 @@ def _serve_config(args: argparse.Namespace, slos) -> dict:
         "batch_size": args.batch_size,
         "cluster": args.cluster,
         "cluster_mode": args.cluster_mode if args.cluster else None,
+        "autoscale": bool(getattr(args, "autoscale", False)),
+        "min_workers": getattr(args, "min_workers", None),
+        "max_workers": getattr(args, "max_workers", None),
         "max_inflight": args.max_inflight,
         "max_queue_depth": args.max_queue_depth,
         "tenants": getattr(args, "tenants", None) or [],
@@ -443,6 +464,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"cluster: {args.workers} {args.cluster_mode} workers", file=sys.stderr
         )
         router.monitor.start()
+        # Elasticity control loops: the Supervisor revives crashed workers
+        # in place (always on in cluster mode — a crash should never leave
+        # a hole in the ring), and --autoscale resizes the worker count
+        # between --min-workers/--max-workers from the rolling load windows.
+        from .cluster import Supervisor
+
+        supervisor = Supervisor(router)
+        supervisor.start()
+        autoscaler = None
+        if args.autoscale:
+            from .cluster import Autoscaler
+
+            try:
+                autoscaler = Autoscaler(
+                    router,
+                    min_workers=args.min_workers,
+                    max_workers=args.max_workers,
+                )
+            except ValueError as exc:
+                print(f"bad autoscale configuration: {exc}", file=sys.stderr)
+                supervisor.stop()
+                router.close()
+                return 2
+            autoscaler.start()
+            print(
+                f"autoscale: {args.min_workers}..{args.max_workers} workers",
+                file=sys.stderr,
+            )
         try:
             return _serve_frontend(
                 router.handle_batch,
@@ -453,6 +502,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 doctor_fn=doctor_for(router.stats_snapshot, router.monitor),
             )
         finally:
+            if autoscaler is not None:
+                autoscaler.stop()
+            supervisor.stop()
             router.close()
 
     from .serving import build_service

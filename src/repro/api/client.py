@@ -446,6 +446,19 @@ class Client:
             return {"status": "ok", "ready": True, "reasons": []}
         return health
 
+    def workers(self) -> "tuple[int, int] | None":
+        """Cluster mode: the ``(live, total)`` worker count, else ``None``.
+
+        Reads the ``workers`` detail of the health section — the counts
+        move at runtime as the elastic ring resizes (joins, drained leaves,
+        crash restarts), so this is the cheap way to watch a cluster scale
+        without parsing the full per-worker stats rows.
+        """
+        workers = self.health().get("workers")
+        if not isinstance(workers, dict):
+            return None
+        return int(workers.get("live", 0)), int(workers.get("total", 0))
+
     def alerts(self) -> list[dict]:
         """The firing SLO alerts of the serving front-end (may be empty).
 

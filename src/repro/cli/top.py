@@ -91,8 +91,16 @@ def render_top(snapshot: Mapping[str, Any], *, window: str = DEFAULT_WINDOW) -> 
 
     ready = health.get("ready")
     ready_text = "yes" if ready else ("n/a" if ready is None else "NO")
+    # Cluster mode: the health section carries live/total worker counts
+    # (elastic — resizes and crash restarts move them at runtime).
+    workers = health.get("workers") or {}
+    workers_text = (
+        f" | workers: {workers.get('live', 0)}/{workers.get('total', 0)}"
+        if workers
+        else ""
+    )
     lines = [
-        f"repro top — window {window} | ready: {ready_text} | "
+        f"repro top — window {window} | ready: {ready_text}{workers_text} | "
         f"alerts firing: {len(alerts)} | pending: {admission.get('pending', 0)} | "
         f"served: {front.get('requests_served', snapshot.get('requests_served', 0))}",
         f"{'TENANT':<16} {'QPS':>8} {'P99_MS':>8} {'SHED_PS':>8} "

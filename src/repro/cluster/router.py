@@ -43,7 +43,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..api.pipeline_spec import PipelineSpec
 from ..api.protocol import (
@@ -62,8 +62,9 @@ from ..obs.export import get_default_exemplars
 from ..obs.metrics import MetricsRegistry, get_default_registry
 from ..obs.slo import HealthMonitor, SLOSpec
 from ..obs.span import Span, remote_span, span
+from ..serving.cache import PersistentCache
 from ..tenancy import TenancyController, TenantRegistry
-from .hashing import HashRing, spec_key
+from .hashing import HashRing, minimal_moved_keys, spec_key
 from .stats import ClusterStats, WorkerStats
 from .workers import ClusterError, SubprocessWorker, ThreadWorker, Worker, WorkerDeadError
 
@@ -85,9 +86,20 @@ class Router:
     replicas:
         Virtual nodes per worker on the hash ring.
     health_interval:
-        Seconds between opportunistic liveness sweeps (checked at submit
-        time); ``None`` disables sweeps, leaving death detection to failed
-        submissions.
+        Seconds between background liveness sweeps (a daemon thread pings
+        every worker and un-rings the dead); ``None`` disables the sweep
+        thread, leaving death detection to failed submissions.
+    worker_factory:
+        ``worker_id -> Worker`` callable used by :meth:`add_worker` (when
+        no pre-built worker is passed) and :meth:`revive_worker`; the
+        :meth:`local`/:meth:`spawn` constructors install one automatically.
+    cache_dir:
+        Base directory of per-worker persistent shards
+        (``<cache_dir>/<worker_id>``); lets resizes migrate entries into a
+        shard *before* its worker opens it, so joins start warm.
+    faults:
+        Optional :class:`repro.cluster.faults.FaultInjector` hook point —
+        deterministic tests arm torn-migration faults through it.
 
     Raises
     ------
@@ -108,6 +120,9 @@ class Router:
         tenants: TenantRegistry | None = None,
         slos: Sequence[SLOSpec] = (),
         monitor_interval: float = 1.0,
+        worker_factory: "Callable[[str], Worker] | None" = None,
+        cache_dir: str | None = None,
+        faults: Any = None,
     ):
         if not workers:
             raise ValueError("a cluster needs at least one worker")
@@ -116,16 +131,35 @@ class Router:
             raise ValueError(f"duplicate worker ids: {ids}")
         self.workers: dict[str, Worker] = {w.worker_id: w for w in workers}
         self._ring = HashRing(ids, replicas=replicas)
+        self._replicas = replicas
+        self._worker_factory = worker_factory
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._faults = faults
+        # The pool is sized generously so scale-ups never starve dispatch:
+        # groups for distinct workers must be able to run concurrently.
         self._pool = ThreadPoolExecutor(
-            max_workers=len(workers), thread_name_prefix="repro-router"
+            max_workers=max(len(workers) * 2, 8), thread_name_prefix="repro-router"
         )
         self._lock = threading.Lock()
         self._routed: dict[str, int] = {wid: 0 for wid in ids}
         self._requeues = 0
         self._deaths = 0
+        self._migrations = 0
+        self._resizes = 0
+        self._restarts = 0
         self.requests_served = 0
+        #: Per-worker registration generation: revivals bump it so a stale
+        #: failure report from before the restart cannot kill the new
+        #: incarnation (or double-count the old death).
+        self._generation: dict[str, int] = {wid: 0 for wid in ids}
+        #: Worker ids draining out (un-ringed but still finishing work);
+        #: readiness treats them as expected-absent, not dead.
+        self._draining: set[str] = set()
+        #: In-flight dispatch groups per worker; remove_worker's drain
+        #: phase waits on this through _drain_cv.
+        self._inflight_by: dict[str, int] = {wid: 0 for wid in ids}
+        self._drain_cv = threading.Condition(self._lock)
         self._health_interval = health_interval
-        self._last_health = time.monotonic()
         self._closed = False
         self._metrics = metrics or get_default_registry()
         self._m_routed = {
@@ -134,6 +168,11 @@ class Router:
         self._m_requeued = self._metrics.counter("router.requeued")
         self._m_deaths = self._metrics.counter("router.deaths")
         self._m_inflight = self._metrics.gauge("router.inflight")
+        self._m_migrations = self._metrics.counter("cluster.migrations")
+        self._m_resizes = self._metrics.counter("cluster.resizes")
+        self._m_restarts = self._metrics.counter("cluster.restarts")
+        self._m_workers = self._metrics.gauge("cluster.workers")
+        self._m_workers.set(len(ids))
         self.admission = AdmissionController(
             max_inflight,
             max_queue_depth,
@@ -150,16 +189,30 @@ class Router:
             if tenants is not None
             else None
         )
-        # Readiness in cluster mode additionally requires every registered
-        # worker alive: the ring is fixed at startup and dead workers never
-        # rejoin, so the correct supervisor reaction is a restart.
+        # Readiness in cluster mode additionally requires every *expected*
+        # worker alive.  Draining workers are expected-absent (a planned
+        # leave must not flip /readyz), while a crashed worker keeps
+        # readiness down until the Supervisor revives it.
         self.monitor = HealthMonitor(
             registry=self._metrics,
             slos=slos,
             interval=monitor_interval,
             admission=self.admission,
-            workers_alive=lambda: (len(self.live_workers), len(self.workers)),
+            workers_alive=lambda: (
+                len(self.live_workers),
+                len(self.workers) - len(self._draining),
+            ),
         )
+        # Background health sweep: pings every worker each interval and
+        # un-rings the dead, so gray failures are caught between submits
+        # too.  close() joins this thread.
+        self._sweep_stop = threading.Event()
+        self._sweep_thread: threading.Thread | None = None
+        if health_interval is not None:
+            self._sweep_thread = threading.Thread(
+                target=self._sweep_loop, name="repro-router-sweep", daemon=True
+            )
+            self._sweep_thread.start()
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -181,6 +234,9 @@ class Router:
         max_queue_depth: int | None = None,
         tenants: TenantRegistry | None = None,
         slos: Sequence[SLOSpec] = (),
+        health_interval: float | None = 30.0,
+        worker_decorator: "Callable[[Worker], Worker] | None" = None,
+        faults: Any = None,
     ) -> "Router":
         """A router over ``n_workers`` in-process thread workers.
 
@@ -189,16 +245,19 @@ class Router:
         persistent shard lives in ``<cache_dir>/worker-NN``, so shards stay
         disjoint on disk and re-open warm on restart.  ``llm_factory`` (an
         ``int -> LanguageModel`` callable) substitutes a custom backend per
-        worker — benchmarks and parity tests use it.
+        worker — benchmarks and parity tests use it.  The installed worker
+        factory reuses all of these knobs, so :meth:`add_worker` and
+        :meth:`revive_worker` build identical stacks at runtime;
+        ``worker_decorator`` wraps every built worker (fault injection).
         """
         from ..core.pipeline import UniDM
         from ..serving.service import build_service
 
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
-        workers = []
-        for index in range(n_workers):
-            worker_id = f"worker-{index:02d}"
+
+        def make_worker(worker_id: str) -> Worker:
+            index = _worker_index(worker_id)
             shard_dir = (
                 str(Path(cache_dir) / worker_id) if cache_dir is not None else None
             )
@@ -213,9 +272,12 @@ class Router:
             )
             if config is not None:
                 service.pipeline = UniDM(service.pipeline.llm, config)
-            workers.append(
-                ThreadWorker(worker_id, service, queue_depth=queue_depth)
-            )
+            worker: Worker = ThreadWorker(worker_id, service, queue_depth=queue_depth)
+            if worker_decorator is not None:
+                worker = worker_decorator(worker)
+            return worker
+
+        workers = [make_worker(f"worker-{index:02d}") for index in range(n_workers)]
         return cls(
             workers,
             replicas=replicas,
@@ -223,6 +285,10 @@ class Router:
             max_queue_depth=max_queue_depth,
             tenants=tenants,
             slos=slos,
+            health_interval=health_interval,
+            worker_factory=make_worker,
+            cache_dir=cache_dir,
+            faults=faults,
         )
 
     @classmethod
@@ -241,34 +307,43 @@ class Router:
         max_queue_depth: int | None = None,
         tenants: TenantRegistry | None = None,
         slos: Sequence[SLOSpec] = (),
+        health_interval: float | None = 30.0,
+        worker_decorator: "Callable[[Worker], Worker] | None" = None,
+        faults: Any = None,
     ) -> "Router":
         """A router over ``n_workers`` spawned ``repro serve`` subprocesses.
 
         Each child binds its own TCP port and owns the
         ``<cache_dir>/worker-NN`` shard directory; the router speaks the
         existing v2 line protocol to them, so a subprocess cluster exercises
-        exactly the wire path a remote deployment would.
+        exactly the wire path a remote deployment would.  The installed
+        worker factory respawns identical children for
+        :meth:`add_worker`/:meth:`revive_worker`.
         """
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
+
+        def make_worker(worker_id: str) -> Worker:
+            shard_dir = (
+                str(Path(cache_dir) / worker_id) if cache_dir is not None else None
+            )
+            worker: Worker = SubprocessWorker(
+                worker_id,
+                host=host,
+                seed=seed,
+                model=model,
+                cache_dir=shard_dir,
+                batch_size=batch_size,
+                engine_workers=engine_workers,
+            )
+            if worker_decorator is not None:
+                worker = worker_decorator(worker)
+            return worker
+
         workers: list[Worker] = []
         try:
             for index in range(n_workers):
-                worker_id = f"worker-{index:02d}"
-                shard_dir = (
-                    str(Path(cache_dir) / worker_id) if cache_dir is not None else None
-                )
-                workers.append(
-                    SubprocessWorker(
-                        worker_id,
-                        host=host,
-                        seed=seed,
-                        model=model,
-                        cache_dir=shard_dir,
-                        batch_size=batch_size,
-                        engine_workers=engine_workers,
-                    )
-                )
+                workers.append(make_worker(f"worker-{index:02d}"))
         except Exception:
             for worker in workers:
                 worker.close()
@@ -280,6 +355,10 @@ class Router:
             max_queue_depth=max_queue_depth,
             tenants=tenants,
             slos=slos,
+            health_interval=health_interval,
+            worker_factory=make_worker,
+            cache_dir=cache_dir,
+            faults=faults,
         )
 
     # ----------------------------------------------------------------- routing
@@ -408,7 +487,6 @@ class Router:
     ) -> list[TaskResult]:
         if self._closed:
             raise ClusterError("router is closed")
-        self._maybe_sweep()
         results: list[TaskResult | None] = [None] * len(specs)
         pending: list[tuple[int, TaskSpec]] = []
         plans: list[tuple[int, PipelineSpec]] = []
@@ -429,7 +507,7 @@ class Router:
             rounds = 0
             while pending:
                 rounds += 1
-                if rounds > len(self.workers) + 1:  # pragma: no cover - defensive
+                if rounds > len(self.workers) + 2:  # pragma: no cover - defensive
                     raise ClusterError("requeue loop exceeded the worker count")
                 groups: dict[str, list[tuple[int, TaskSpec]]] = {}
                 try:
@@ -439,9 +517,13 @@ class Router:
                         )
                 except LookupError as exc:
                     raise ClusterError(str(exc)) from exc
-                futures = {
-                    worker_id: self._pool.submit(
-                        self._submit_group,
+                futures = {}
+                generations = {}
+                for worker_id, group in groups.items():
+                    generations[worker_id] = self._generation.get(worker_id, 0)
+                    self._track_inflight(worker_id, +1)
+                    futures[worker_id] = self._pool.submit(
+                        self._submit_group_tracked,
                         worker_id,
                         group,
                         priority,
@@ -449,15 +531,13 @@ class Router:
                         parent_span,
                         tenant,
                     )
-                    for worker_id, group in groups.items()
-                }
                 pending = []
                 for worker_id, future in futures.items():
                     group = groups[worker_id]
                     try:
                         answered = future.result()
                     except (WorkerDeadError, ClusterError):
-                        self._mark_dead(worker_id)
+                        self._mark_dead(worker_id, generations[worker_id])
                         with self._lock:
                             self._requeues += len(group)
                         self._m_requeued.inc(len(group))
@@ -610,31 +690,67 @@ class Router:
                     )
         return [response for response in responses if response is not None]
 
+    def _submit_group_tracked(
+        self,
+        worker_id: str,
+        group: "list[tuple[int, TaskSpec]]",
+        priority: int = 0,
+        trace: str | None = None,
+        parent: "Span | None" = None,
+        tenant: str | None = None,
+    ) -> list[TaskResult]:
+        try:
+            return self._submit_group(
+                worker_id, group, priority, trace, parent, tenant
+            )
+        finally:
+            self._track_inflight(worker_id, -1)
+
+    def _track_inflight(self, worker_id: str, delta: int) -> None:
+        with self._drain_cv:
+            self._inflight_by[worker_id] = (
+                self._inflight_by.get(worker_id, 0) + delta
+            )
+            if delta < 0:
+                self._drain_cv.notify_all()
+
     # ------------------------------------------------------------------ health
     def check_health(self) -> dict[str, bool]:
         """Ping every worker; mark and un-ring the dead.  Returns id → alive."""
         alive = {}
-        for worker_id, worker in self.workers.items():
+        for worker_id, worker in list(self.workers.items()):
+            generation = self._generation.get(worker_id, 0)
             ok = worker.ping()
             alive[worker_id] = ok
             if not ok and worker_id in self._ring:
-                self._mark_dead(worker_id)
+                self._mark_dead(worker_id, generation)
         return alive
 
-    def _maybe_sweep(self) -> None:
-        if self._health_interval is None:
-            return
-        now = time.monotonic()
-        if now - self._last_health >= self._health_interval:
-            self._last_health = now
-            self.check_health()
+    def _sweep_loop(self) -> None:
+        interval = self._health_interval or 30.0
+        while not self._sweep_stop.wait(interval):
+            try:
+                self.check_health()
+            except Exception:  # pragma: no cover - defensive
+                continue
 
-    def _mark_dead(self, worker_id: str) -> None:
+    def _mark_dead(self, worker_id: str, generation: int | None = None) -> None:
+        """Un-ring a worker discovered dead (idempotent, generation-aware).
+
+        A sweep and a failed submit can report the same corpse
+        concurrently, and a stale report can arrive *after* the Supervisor
+        revived the worker; the registration generation captured at
+        dispatch time disarms both — only the first matching report of a
+        still-current incarnation counts a death.
+        """
         with self._lock:
-            if worker_id in self._ring:
+            current = self._generation.get(worker_id, 0)
+            stale = generation is not None and generation != current
+            if not stale and worker_id in self._ring:
                 self._ring.remove(worker_id)
                 self._deaths += 1
                 self._m_deaths.inc()
+                self._m_workers.set(len(self._ring.nodes))
                 died = True
             else:
                 died = False
@@ -646,6 +762,273 @@ class Router:
     @property
     def live_workers(self) -> set[str]:
         return self._ring.nodes
+
+    @property
+    def draining_workers(self) -> set[str]:
+        """Workers currently draining out of the ring (planned leaves)."""
+        with self._lock:
+            return set(self._draining)
+
+    # -------------------------------------------------------------- elasticity
+    def add_worker(
+        self, worker: Worker | None = None, *, worker_id: str | None = None
+    ) -> str:
+        """Join a worker to the ring at runtime; returns its id.
+
+        The live-resize half of elasticity: while requests are in flight,
+        the consistent-hash-minimal set of moved spec keys is computed from
+        every live shard's route index, exactly those ``PersistentCache``
+        entries are copied into the joining worker's shard (before the
+        worker opens it when the router builds the worker itself, so the
+        join starts warm), the sources drop the moved entries, and only
+        then does the new node enter the ring.
+
+        Pass a pre-built ``worker`` or let the router build one through its
+        worker factory (installed by :meth:`local`/:meth:`spawn`).
+        """
+        if worker is None and self._worker_factory is None:
+            raise ClusterError(
+                "add_worker needs a pre-built worker or a worker_factory"
+            )
+        new_id = worker.worker_id if worker is not None else (
+            worker_id or self._next_worker_id()
+        )
+        with self._lock:
+            if new_id in self.workers:
+                raise ValueError(f"duplicate worker id: {new_id}")
+        # Placement what-if: where will keys live once new_id joins?
+        with self._lock:
+            new_ring = self._ring.with_node(new_id)
+        moved_rows, moved_by_source = self._collect_moved_for_join(new_id, new_ring)
+        migrated = 0
+        if worker is None:
+            # Migrate on disk *before* the worker opens its shard: the
+            # freshly built worker loads the moved entries warm.
+            target_dir = self._shard_dir_for(new_id)
+            if target_dir is not None and moved_rows:
+                target = PersistentCache(target_dir, metrics=self._metrics)
+                migrated = target.absorb(moved_rows)
+                self._maybe_tear(target)
+            worker = self._worker_factory(new_id)  # type: ignore[misc]
+        elif moved_rows:
+            shard = worker.shard()
+            if shard is not None:
+                migrated = shard.absorb(moved_rows)
+                self._maybe_tear(shard)
+            else:
+                target_dir = worker.shard_path() or self._shard_dir_for(new_id)
+                if target_dir is not None:
+                    target = PersistentCache(target_dir, metrics=self._metrics)
+                    migrated = target.absorb(moved_rows)
+                    self._maybe_tear(target)
+        # Sources stop holding what they no longer own (live shards only:
+        # a subprocess source keeps stale copies rather than racing its
+        # own appends — harmless duplicates, documented in architecture.md).
+        for source_id, moved_routes in moved_by_source.items():
+            source = self.workers.get(source_id)
+            shard = source.shard() if source is not None else None
+            if shard is not None:
+                shard.remove_routes(moved_routes)
+        self._register_worker(worker)
+        with self._lock:
+            self._resizes += 1
+            self._migrations += migrated
+        self._m_resizes.inc()
+        if migrated:
+            self._m_migrations.inc(migrated)
+        emit_event(
+            "cluster.resize",
+            action="join",
+            worker=new_id,
+            migrated_entries=migrated,
+            workers=len(self._ring.nodes),
+        )
+        return new_id
+
+    def remove_worker(
+        self,
+        worker_id: str,
+        *,
+        drain: bool = True,
+        migrate: bool = True,
+        drain_timeout: float = 30.0,
+    ) -> int:
+        """Leave the ring at runtime; returns the number of migrated entries.
+
+        The worker is un-ringed first (new dispatches immediately re-route
+        to survivors), its in-flight groups drain (bounded by
+        ``drain_timeout``), its shard entries migrate to their new
+        consistent-hash owners, and only then is the worker closed and
+        forgotten.  With ``drain=False`` in-flight work is abandoned to the
+        requeue path instead (a forced leave).
+        """
+        with self._drain_cv:
+            if worker_id not in self.workers:
+                raise ValueError(f"unknown worker: {worker_id}")
+            if len(self._ring.nodes) <= 1 and worker_id in self._ring:
+                raise ClusterError("cannot remove the last live worker")
+            self._draining.add(worker_id)
+            if worker_id in self._ring:
+                self._ring.remove(worker_id)
+            self._m_workers.set(len(self._ring.nodes))
+            if drain:
+                deadline = time.monotonic() + drain_timeout
+                while self._inflight_by.get(worker_id, 0) > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break  # give up waiting; requeue path covers the rest
+                    self._drain_cv.wait(timeout=remaining)
+        worker = self.workers[worker_id]
+        migrated = 0
+        if migrate:
+            migrated = self._migrate_out(worker)
+        worker.close()
+        with self._drain_cv:
+            self.workers.pop(worker_id, None)
+            self._draining.discard(worker_id)
+            self._inflight_by.pop(worker_id, None)
+            self._resizes += 1
+            self._migrations += migrated
+        self._m_resizes.inc()
+        if migrated:
+            self._m_migrations.inc(migrated)
+        emit_event(
+            "cluster.resize",
+            action="leave",
+            worker=worker_id,
+            migrated_entries=migrated,
+            workers=len(self._ring.nodes),
+        )
+        return migrated
+
+    def revive_worker(self, worker_id: str) -> Worker:
+        """Respawn a crashed worker in place (same id, same shard dir).
+
+        The Supervisor's restart primitive: the replacement re-opens the
+        same persistent shard (warm-restart replay), takes over the ring
+        position of its predecessor — consistent hashing puts it back in
+        charge of exactly the keys it owned — and bumps the registration
+        generation so stale death reports of the old incarnation are inert.
+        """
+        if self._worker_factory is None:
+            raise ClusterError("revive_worker needs a worker_factory")
+        with self._lock:
+            if worker_id not in self.workers:
+                raise ValueError(f"unknown worker: {worker_id}")
+            if worker_id in self._ring:
+                raise ClusterError(f"worker {worker_id} is still live")
+        old = self.workers[worker_id]
+        old.close()  # reap the corpse (idempotent on an already-dead child)
+        worker = self._worker_factory(worker_id)
+        with self._lock:
+            self.workers[worker_id] = worker
+            self._generation[worker_id] = self._generation.get(worker_id, 0) + 1
+            self._ring.add(worker_id)
+            self._restarts += 1
+            self._m_workers.set(len(self._ring.nodes))
+        self._m_restarts.inc()
+        emit_event(
+            "cluster.restart",
+            worker=worker_id,
+            generation=self._generation[worker_id],
+            workers=len(self._ring.nodes),
+        )
+        return worker
+
+    # ----------------------------------------------------- migration internals
+    def _next_worker_id(self) -> str:
+        with self._lock:
+            taken = {_worker_index(wid) for wid in self.workers}
+        index = 0
+        while index in taken:
+            index += 1
+        return f"worker-{index:02d}"
+
+    def _shard_dir_for(self, worker_id: str) -> "Path | None":
+        if self._cache_dir is None:
+            return None
+        return self._cache_dir / worker_id
+
+    def _shard_of(self, worker: Worker) -> "PersistentCache | None":
+        """The worker's shard: live object preferred, else opened from disk."""
+        shard = worker.shard()
+        if shard is not None:
+            return shard
+        path = worker.shard_path()
+        if path is not None and Path(path).exists():
+            return PersistentCache(path, metrics=self._metrics)
+        return None
+
+    def _collect_moved_for_join(
+        self, new_id: str, new_ring: HashRing
+    ) -> "tuple[list[dict], dict[str, set[str]]]":
+        """Rows relocating to ``new_id`` and which source shard owns them."""
+        moved_rows: list[dict] = []
+        moved_by_source: dict[str, set[str]] = {}
+        for source_id, source in list(self.workers.items()):
+            if source_id not in self._ring:
+                continue
+            shard = self._shard_of(source)
+            if shard is None:
+                continue
+            routes = shard.route_keys()
+            moved = {
+                key
+                for key, (_, new_owner) in minimal_moved_keys(
+                    self._ring, new_ring, routes
+                ).items()
+                if new_owner == new_id
+            }
+            if moved:
+                moved_rows.extend(shard.entries_for_routes(moved))
+                moved_by_source[source_id] = moved
+        return moved_rows, moved_by_source
+
+    def _migrate_out(self, worker: Worker) -> int:
+        """Copy a leaving worker's entries to their new ring owners."""
+        shard = self._shard_of(worker)
+        if shard is None or not self._ring.nodes:
+            return 0
+        routes = shard.route_keys()
+        if not routes:
+            return 0
+        by_target: dict[str, set[str]] = {}
+        for key in routes:
+            try:
+                by_target.setdefault(self._ring.node_for(key), set()).add(key)
+            except LookupError:  # pragma: no cover - ring emptied mid-leave
+                return 0
+        migrated = 0
+        for target_id, moved in by_target.items():
+            rows = shard.entries_for_routes(moved)
+            if not rows:
+                continue
+            target = self.workers.get(target_id)
+            target_shard = self._shard_of(target) if target is not None else None
+            if target_shard is None:
+                continue
+            migrated += target_shard.absorb(rows)
+            self._maybe_tear(target_shard)
+        return migrated
+
+    def _maybe_tear(self, shard: "PersistentCache") -> None:
+        """Fault hook: a torn-migration injection truncates the target."""
+        if self._faults is not None:
+            self._faults.maybe_tear(shard)
+
+    def _register_worker(self, worker: Worker) -> None:
+        worker_id = worker.worker_id
+        with self._lock:
+            self.workers[worker_id] = worker
+            self._routed.setdefault(worker_id, 0)
+            self._generation.setdefault(worker_id, 0)
+            self._inflight_by.setdefault(worker_id, 0)
+            if worker_id not in self._m_routed:
+                self._m_routed[worker_id] = self._metrics.counter(
+                    f"router.routed.{worker_id}"
+                )
+            self._ring.add(worker_id)
+            self._m_workers.set(len(self._ring.nodes))
 
     # ------------------------------------------------------------------- stats
     def stats_snapshot(
@@ -685,7 +1068,7 @@ class Router:
     def stats(self) -> ClusterStats:
         """Aggregate a :class:`ClusterStats` snapshot across all workers."""
         rows: list[WorkerStats] = []
-        for worker_id, worker in self.workers.items():
+        for worker_id, worker in list(self.workers.items()):
             row = worker.stats()
             row.alive = worker_id in self._ring and row.alive
             row.routed = self._routed.get(worker_id, 0)
@@ -696,17 +1079,29 @@ class Router:
                 routed=sum(self._routed.values()),
                 requeues=self._requeues,
                 deaths=self._deaths,
+                migrations=self._migrations,
+                resizes=self._resizes,
+                restarts=self._restarts,
+                draining=len(self._draining),
             )
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut the pool down and close every worker (idempotent)."""
+        """Shut the pool down and close every worker (idempotent).
+
+        Joins the background health-sweep thread before tearing the pool
+        down so a sweep can never race worker shutdown.
+        """
         if self._closed:
             return
         self._closed = True
+        self._sweep_stop.set()
+        if self._sweep_thread is not None:
+            self._sweep_thread.join(timeout=5.0)
+            self._sweep_thread = None
         self.monitor.stop()
         self._pool.shutdown(wait=True)
-        for worker in self.workers.values():
+        for worker in list(self.workers.values()):
             worker.close()
 
     def __enter__(self) -> "Router":
@@ -714,3 +1109,16 @@ class Router:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+def _worker_index(worker_id: str) -> int:
+    """The numeric suffix of a ``worker-NN`` id (0 when there is none).
+
+    Feeds ``llm_factory(index)`` so a worker rebuilt by the factory gets
+    the same backend its original had.
+    """
+    tail = worker_id.rsplit("-", 1)[-1]
+    try:
+        return int(tail)
+    except ValueError:
+        return 0

@@ -62,6 +62,14 @@ class ClusterStats:
     requeues: int = 0
     #: Workers declared dead so far.
     deaths: int = 0
+    #: Persistent-cache entries moved shard-to-shard by ring resizes.
+    migrations: int = 0
+    #: Ring resizes (joins + leaves) since the router started.
+    resizes: int = 0
+    #: Crashed workers revived in place (same id, same shard).
+    restarts: int = 0
+    #: Workers currently draining out (un-ringed, finishing work).
+    draining: int = 0
 
     @property
     def alive_workers(self) -> int:
@@ -86,6 +94,10 @@ class ClusterStats:
             "routed": self.routed,
             "requeues": self.requeues,
             "deaths": self.deaths,
+            "migrations": self.migrations,
+            "resizes": self.resizes,
+            "restarts": self.restarts,
+            "draining": self.draining,
             "alive_workers": self.alive_workers,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -96,7 +108,8 @@ class ClusterStats:
         lines = [
             f"cluster: {self.alive_workers}/{len(self.workers)} workers alive, "
             f"{self.routed} specs routed, {self.requeues} requeued, "
-            f"hit rate {self.hit_rate:.2f}"
+            f"{self.resizes} resizes ({self.migrations} entries migrated, "
+            f"{self.restarts} restarts), hit rate {self.hit_rate:.2f}"
         ]
         for worker in self.workers:
             state = "up" if worker.alive else "DEAD"

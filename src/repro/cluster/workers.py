@@ -107,6 +107,20 @@ class Worker:
         """Simulate/force an ungraceful death (used by failover paths/tests)."""
         self.close()
 
+    def shard(self) -> "object | None":
+        """The live :class:`~repro.serving.cache.PersistentCache` shard.
+
+        ``None`` when the shard is not reachable in this process (no
+        persistent cache configured, or the worker runs elsewhere — see
+        :meth:`shard_path` for the on-disk handle).
+        """
+        return None
+
+    def shard_path(self) -> "Path | None":
+        """The shard directory on disk, when one exists (else ``None``)."""
+        shard = self.shard()
+        return getattr(shard, "path", None)
+
 
 class ThreadWorker(Worker):
     """An in-process serving stack behind a bounded work queue.
@@ -207,6 +221,9 @@ class ThreadWorker(Worker):
             row.cache_entries = len(persistent)
         return row
 
+    def shard(self) -> "object | None":
+        return getattr(self.service.pipeline.llm, "persistent", None)
+
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
         if self._closed:
@@ -245,6 +262,9 @@ class SubprocessWorker(Worker):
         self.worker_id = worker_id
         self.host = host
         self.timeout = timeout
+        #: Shard directory the child owns (migration reads/writes it from
+        #: the router side; the child warms lazily — see docs).
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         env = dict(os.environ)
         src_root = str(Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = os.pathsep.join(
@@ -353,6 +373,9 @@ class SubprocessWorker(Worker):
         if self._process.poll() is None:
             self._process.kill()
             self._process.wait(timeout=5.0)
+
+    def shard_path(self) -> "Path | None":
+        return self.cache_dir
 
 
 def _free_port(host: str) -> int:

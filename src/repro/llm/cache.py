@@ -64,6 +64,9 @@ class CachedLLM(LanguageModel):
         self._m_persistent_hits = metrics.counter("cache.persistent_hits")
         self._m_bytes_served = metrics.counter("cache.bytes_served")
         self._m_bytes_stored = metrics.counter("cache.bytes_stored")
+        # Prompts actually forwarded to the inner backend (cache hits never
+        # count): the exactly-once signal elasticity tests assert on.
+        self._m_backend_calls = metrics.counter("llm.calls")
         self.hits = 0
         self.misses = 0
         self.persistent_hits = 0
@@ -114,6 +117,18 @@ class CachedLLM(LanguageModel):
         if self.persistent is not None:
             self.persistent.put(prompt, text)
 
+    def note_route(self, prompt: str, route: str) -> None:
+        """Attribute ``prompt`` to a spec (route) key for shard migration.
+
+        Forwards to the persistent backend's route index when it keeps one
+        (see :meth:`repro.serving.cache.PersistentCache.note_route`);
+        silently a no-op otherwise, so callers need not care which backend
+        is wired in.
+        """
+        note = getattr(self.persistent, "note_route", None)
+        if note is not None:
+            note(prompt, route)
+
     # --------------------------------------------------------------- interface
     def _complete_text(self, prompt: str) -> str:
         # Retained for the LanguageModel contract; ``kind`` is unavailable at
@@ -122,6 +137,7 @@ class CachedLLM(LanguageModel):
         with self._lock:
             text = self._lookup(prompt)
             if text is None:
+                self._m_backend_calls.inc()
                 text = self.inner.complete(prompt).text
                 self._store(prompt, text)
             return text
@@ -130,6 +146,7 @@ class CachedLLM(LanguageModel):
         with self._lock:
             text = self._lookup(prompt)
             if text is None:
+                self._m_backend_calls.inc()
                 text = self.inner.complete(prompt, kind=kind).text
                 self._store(prompt, text)
             return self._record(prompt, text, kind)
@@ -167,6 +184,7 @@ class CachedLLM(LanguageModel):
                     lookup_span.attrs["misses"] = len(miss_order)
             fetched_texts: dict[str, str] = {}
             if miss_order:
+                self._m_backend_calls.inc(len(miss_order))
                 with span("llm.backend", kind=kind, prompts=len(miss_order)):
                     fetched = self.inner.complete_batch(miss_order, kind=kind)
                 for prompt, completion in zip(miss_order, fetched):

@@ -439,8 +439,11 @@ class HealthMonitor:
         readiness reports *not ready* while it is saturated.
     workers_alive:
         Cluster mode: zero-argument callable returning ``(live, total)``
-        worker counts; readiness requires every registered worker alive
-        (the ring is fixed at startup, so a dead worker never returns).
+        worker counts; readiness requires every *expected* worker alive.
+        The ring is elastic: planned joins/leaves adjust ``total`` in step
+        (a draining worker is expected-absent), so only a crash — a worker
+        off the ring that is not draining — degrades readiness, until the
+        Supervisor revives it.
     clock:
         Monotonic seconds source shared with the sampler/engine.
     """
@@ -573,6 +576,10 @@ class HealthMonitor:
         health = self.health()
         health["ready"] = ok
         health["reasons"] = ready_detail["reasons"]
+        if "workers" in ready_detail:
+            # Cluster mode: surface the live/total worker count so clients
+            # and ``repro top`` can render elasticity without a second probe.
+            health["workers"] = ready_detail["workers"]
         if not ok:
             health["status"] = "degraded"
         return {

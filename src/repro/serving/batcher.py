@@ -37,6 +37,15 @@ from ..obs.metrics import MetricsRegistry, SIZE_BUCKETS, get_default_registry
 from ..obs.span import Span
 from ..obs.trace import Trace
 
+#: The spec (route) key of the task currently executing, set by the engine
+#: around each task coroutine.  ``submit`` reads it to attribute every
+#: prompt to the spec that issued it — the attribution the cluster's
+#: shard-migration path needs, captured here because this is the last layer
+#: where a prompt still belongs to exactly one task (batches mix tasks).
+ROUTE_KEY: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_route_key", default=None
+)
+
 
 @dataclass
 class _Request:
@@ -119,6 +128,11 @@ class MicroBatcher:
         by the submitting task's span via the ambient context).
         """
         loop = asyncio.get_running_loop()
+        route = ROUTE_KEY.get()
+        if route is not None:
+            note = getattr(self.llm, "note_route", None)
+            if note is not None:
+                note(prompt, route)
         wait_span = Span.begin("batcher.wait", attrs={"kind": kind})
         request = _Request(
             prompt, kind, loop.create_future(), time.perf_counter(), wait_span

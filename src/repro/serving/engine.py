@@ -29,7 +29,7 @@ from ..obs.export import get_default_exemplars
 from ..obs.metrics import MetricsRegistry, get_default_registry
 from ..obs.span import span
 from ..obs.trace import Trace
-from .batcher import BatcherStats, MicroBatcher
+from .batcher import ROUTE_KEY, BatcherStats, MicroBatcher
 from .stages import OrderedGate, execute_task
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -159,6 +159,11 @@ class ExecutionEngine:
                 kind = task.task_type.name.lower()
                 tasks_counter, latency = kind_metrics(kind)
                 inflight.inc()
+                # Each asyncio task runs in its own context copy, so setting
+                # the route key here scopes it to this task's prompts only —
+                # the batcher reads it per submit() to build the route index
+                # shard migration depends on.
+                ROUTE_KEY.set(getattr(task, "route_key", None))
                 started = time.perf_counter()
                 try:
                     with span("engine.task", kind=kind, index=index):

@@ -64,6 +64,16 @@ from .cache import PersistentCache
 from .engine import EngineConfig, ExecutionEngine
 
 
+def _route_key(spec: "TaskSpec") -> "str | None":
+    """The spec's routing digest (``None`` when the spec cannot hash)."""
+    from ..flow.planner import spec_key
+
+    try:
+        return spec_key(spec)
+    except Exception:  # pragma: no cover - defensive: tagging is best-effort
+        return None
+
+
 @dataclass(frozen=True)
 class InvalidRequest:
     """Out-of-band marker for a line that never parsed into a request object.
@@ -307,7 +317,12 @@ class ServingService:
                 plans.append((position, parsed))
                 continue
             try:
-                tasks.append(parsed.spec.to_task())
+                task = parsed.spec.to_task()
+                # Spec-key tag the engine propagates to the batcher so every
+                # prompt lands in the shard's route index — the attribution
+                # the cluster's hash-minimal migration moves entries by.
+                task.route_key = _route_key(parsed.spec)
+                tasks.append(task)
             except (ApiError, ValueError, KeyError, TypeError, IndexError) as exc:
                 info = exc.info if isinstance(exc, ApiError) else ErrorInfo(
                     code="invalid_request", message=str(exc)
@@ -380,9 +395,12 @@ class ServingService:
         whole pipeline runs inside the service: spec batches skip the JSON
         envelope and go straight to the engine.
         """
-        results = self.pipeline.run_many(
-            [spec.to_task() for spec in specs], engine=self.engine
-        )
+        tasks = []
+        for spec in specs:
+            task = spec.to_task()
+            task.route_key = _route_key(spec)
+            tasks.append(task)
+        results = self.pipeline.run_many(tasks, engine=self.engine)
         return [TaskResult.from_manipulation(result) for result in results]
 
     def _run_plan_locked(self, parsed: ParsedRequest) -> dict:

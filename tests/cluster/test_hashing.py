@@ -59,3 +59,84 @@ def test_spec_key_is_stable_and_content_addressed():
     other = TransformationSpec(value="20230101", examples=[["a", "b"]])
     assert spec_key(spec) == spec_key(same)
     assert spec_key(spec) != spec_key(other)
+
+
+# ----------------------------------------------------- elasticity properties
+# The resize contract add_worker/remove_worker rely on: consistent hashing
+# relocates only the minimal key set.  Derandomized so CI is reproducible.
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.cluster import minimal_moved_keys  # noqa: E402
+
+_node_counts = st.integers(min_value=1, max_value=8)
+_key_sets = st.sets(
+    st.text(alphabet="abcdef0123456789-", min_size=1, max_size=16),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(derandomize=True, max_examples=50, deadline=None)
+@given(n_nodes=_node_counts, keys=_key_sets)
+def test_join_moves_keys_only_onto_the_new_node(n_nodes, keys):
+    before = HashRing([f"w{i}" for i in range(n_nodes)])
+    after = before.with_node("joiner")
+    moved = minimal_moved_keys(before, after, keys)
+    for key, (old_owner, new_owner) in moved.items():
+        # Minimality: every relocation lands on the joiner; no key ever
+        # moves between two surviving nodes.
+        assert new_owner == "joiner"
+        assert old_owner != "joiner"
+    for key in keys:
+        if key not in moved:
+            assert after.node_for(key) == before.node_for(key)
+
+
+@settings(derandomize=True, max_examples=50, deadline=None)
+@given(n_nodes=st.integers(min_value=2, max_value=8), keys=_key_sets)
+def test_leave_moves_only_the_leavers_keys(n_nodes, keys):
+    nodes = [f"w{i}" for i in range(n_nodes)]
+    before = HashRing(nodes)
+    after = before.without_node(nodes[0])
+    moved = minimal_moved_keys(before, after, keys)
+    for key, (old_owner, new_owner) in moved.items():
+        assert old_owner == nodes[0]
+        assert new_owner != nodes[0]
+    for key in keys:
+        if key not in moved:
+            assert after.node_for(key) == before.node_for(key)
+
+
+@settings(derandomize=True, max_examples=50, deadline=None)
+@given(n_nodes=_node_counts, keys=_key_sets)
+def test_add_remove_round_trip_restores_placement_exactly(n_nodes, keys):
+    ring = HashRing([f"w{i}" for i in range(n_nodes)])
+    placement = {key: ring.node_for(key) for key in keys}
+    ring.add("transient")
+    ring.remove("transient")
+    assert {key: ring.node_for(key) for key in keys} == placement
+
+
+@settings(derandomize=True, max_examples=50, deadline=None)
+@given(n_nodes=st.integers(min_value=2, max_value=8), keys=_key_sets)
+def test_remove_add_round_trip_restores_placement_exactly(n_nodes, keys):
+    nodes = [f"w{i}" for i in range(n_nodes)]
+    ring = HashRing(nodes)
+    placement = {key: ring.node_for(key) for key in keys}
+    ring.remove(nodes[-1])
+    ring.add(nodes[-1])
+    assert {key: ring.node_for(key) for key in keys} == placement
+
+
+def test_join_moved_fraction_is_about_one_over_n():
+    # Deterministic (sha256 placement, fixed keys): a join should relocate
+    # roughly 1/(N+1) of the keys — the consistent-hash-minimal fraction —
+    # never the ~(N-1)/N a naive mod-N resharding would.
+    keys = [f"key-{i}" for i in range(3000)]
+    for n_nodes in (2, 4, 8):
+        ring = HashRing([f"w{i}" for i in range(n_nodes)])
+        moved = minimal_moved_keys(ring, ring.with_node("joiner"), keys)
+        fraction = len(moved) / len(keys)
+        expected = 1.0 / (n_nodes + 1)
+        assert 0.3 * expected <= fraction <= 3.0 * expected

@@ -231,11 +231,21 @@ def test_rotation_config_from_env(tmp_path, monkeypatch):
         log.close()
 
 
-def test_configure_default_exports_rotation_env(tmp_path, monkeypatch):
+def test_configure_default_exports_rotation_env(tmp_path):
     import os
 
-    monkeypatch.delenv("REPRO_EVENTS_MAX_BYTES", raising=False)
-    monkeypatch.delenv("REPRO_EVENTS_KEEP", raising=False)
+    # Restore the exported vars by hand, NOT via monkeypatch.delenv:
+    # deleting a var that the library (not monkeypatch) wrote records the
+    # leaked value as the "original", so monkeypatch teardown would put it
+    # back — and later tests' subprocess workers then inherit a 4 KiB
+    # rotation cap and shred their shared events file.
+    exported = (
+        "REPRO_EVENTS_FILE",
+        "REPRO_EVENTS_SAMPLE",
+        "REPRO_EVENTS_MAX_BYTES",
+        "REPRO_EVENTS_KEEP",
+    )
+    saved = {var: os.environ.pop(var, None) for var in exported}
     log = configure_default_event_log(
         path=tmp_path / "e.jsonl", max_bytes=4096, keep=1, export_env=True
     )
@@ -244,6 +254,9 @@ def test_configure_default_exports_rotation_env(tmp_path, monkeypatch):
         assert os.environ["REPRO_EVENTS_KEEP"] == "1"
     finally:
         log.close()
-        monkeypatch.delenv("REPRO_EVENTS_MAX_BYTES", raising=False)
-        monkeypatch.delenv("REPRO_EVENTS_KEEP", raising=False)
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
         configure_default_event_log()

@@ -189,9 +189,13 @@ def test_two_worker_cluster_roundtrip_is_one_tree(event_log):
 def test_span_ids_survive_the_subprocess_tcp_hop(tmp_path, monkeypatch):
     events_file = tmp_path / "events.jsonl"
     monkeypatch.setenv("REPRO_EVENTS_FILE", str(events_file))
-    # Workers inherit the environment: make sure no leaked sampling knob
-    # can silently drop this trace's worker-side spans.
+    # Workers inherit the environment: make sure no leaked sampling or
+    # rotation knob can silently drop this trace's worker-side spans (a
+    # small inherited REPRO_EVENTS_MAX_BYTES makes workers rotate the
+    # shared file out from under the assertions below).
     monkeypatch.delenv("REPRO_EVENTS_SAMPLE", raising=False)
+    monkeypatch.delenv("REPRO_EVENTS_MAX_BYTES", raising=False)
+    monkeypatch.delenv("REPRO_EVENTS_KEEP", raising=False)
     configure_default_event_log(path=events_file)
     try:
         with Client.cluster(workers=2, mode="process", seed=0) as client:
