@@ -41,6 +41,12 @@ GATED_METRICS: dict[str, list[tuple[str, str]]] = {
     ],
     "serving": [("speedup", "warm-cache engine speedup vs cold sequential")],
     "batching": [("round_trip_reduction", "micro-batching round-trip reduction")],
+    "wire": [
+        (
+            "overhead_reduction",
+            "pipelined wire per-request overhead reduction vs thread-per-conn",
+        )
+    ],
 }
 
 #: Capped metrics: artifact name -> list of (dotted key path, label, cap).

@@ -25,8 +25,7 @@ the examples use.
 from __future__ import annotations
 
 import asyncio
-import socket
-import json
+import threading
 import time
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
@@ -160,20 +159,41 @@ class Client:
 
     @classmethod
     def remote(
-        cls, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 30.0,
+        *,
+        protocol: str = "auto",
+        pool_size: int = 4,
     ) -> "Client":
-        """A client speaking the line protocol to a running TCP service.
+        """A client speaking the wire transport to a running TCP service.
+
+        Connections are pooled and keep-alive; each one negotiates the
+        framing at connect time (binary frames against a transport-aware
+        server, legacy JSON lines otherwise — see
+        ``docs/wire-transport.md``), and ``submit_many`` pipelines its whole
+        batch over one connection instead of paying a round trip per
+        request.
 
         Args:
             host: Service host (``python -m repro serve --port ...``).
             port: Service TCP port.
             timeout: Per-connection socket timeout in seconds.
+            protocol: ``"auto"`` (default) negotiates framing at connect;
+                ``"lines"`` skips the handshake and speaks the plain
+                JSON-lines protocol.
+            pool_size: Idle keep-alive connections retained for reuse.
 
         Returns:
             A :class:`Client` whose submissions travel over TCP; the
             spec/result semantics are identical to :meth:`local`.
         """
-        return cls(_RemoteBackend(host, port, timeout))
+        return cls(
+            _RemoteBackend(
+                host, port, timeout, protocol=protocol, pool_size=pool_size
+            )
+        )
 
     @classmethod
     def cluster(
@@ -648,70 +668,118 @@ class _ClusterBackend(_Backend):
 
 
 class _RemoteBackend(_Backend):
-    """Requests shipped over the newline-delimited JSON TCP protocol.
+    """Requests shipped over the negotiated TCP wire transport.
 
-    Each batch uses one connection: write every request line plus the blank
-    flush line, then read exactly one response line per request.
+    Connections are **pooled and keep-alive**: the first batch pays one
+    connect + handshake round trip (see
+    :class:`repro.serving.transport.WireConnection` — binary framing when
+    the server speaks it, multiplexed JSON lines otherwise, legacy
+    blank-line batches against pre-transport servers), and every later
+    batch reuses a pooled connection, pipelining all of its requests before
+    reading any response.  ``protocol="lines"`` skips negotiation entirely
+    and speaks the legacy protocol, one pooled connection per batch.
+
+    A batch that fails on a pooled connection (the server restarted, a
+    keep-alive socket went stale) is retried once on a fresh connection
+    before surfacing a :class:`TransportError`.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        *,
+        protocol: str = "auto",
+        pool_size: int = 4,
+    ):
+        if protocol not in ("auto", "lines"):
+            raise ValueError(f"protocol must be 'auto' or 'lines', got {protocol!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.protocol = protocol
+        self.pool_size = pool_size
+        self._pool: Any = None
+        self._pool_lock = threading.Lock()
 
-    def _payload(self, requests: list[dict]) -> bytes:
-        lines = [json.dumps(request, ensure_ascii=False) for request in requests]
-        return ("\n".join(lines) + "\n\n").encode()
+    # ----------------------------------------------------------------- sync
+    def _pool_handle(self) -> Any:
+        with self._pool_lock:
+            if self._pool is None:
+                from ..serving.transport import WireConnectionPool
+
+                self._pool = WireConnectionPool(
+                    self.host,
+                    self.port,
+                    self.timeout,
+                    size=self.pool_size,
+                    negotiate=self.protocol == "auto",
+                )
+            return self._pool
 
     def send(self, requests: list[dict]) -> list[dict]:
-        try:
-            with socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            ) as conn:
-                conn.sendall(self._payload(requests))
-                reader = conn.makefile("r", encoding="utf-8")
-                return [self._read_line(reader) for _ in requests]
-        except OSError as exc:
-            raise TransportError(
-                f"cannot reach service at {self.host}:{self.port}: {exc}"
-            ) from exc
+        from ..serving.transport import FrameError
 
-    @staticmethod
-    def _read_line(reader: Any) -> dict:
-        line = reader.readline()
-        if not line:
-            raise TransportError("service closed the connection mid-batch")
-        try:
-            return json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise TransportError(f"service answered bad JSON: {exc}") from exc
-
-    async def asend(self, requests: list[dict]) -> list[dict]:
-        try:
-            reader, writer = await asyncio.open_connection(self.host, self.port)
-        except OSError as exc:
-            raise TransportError(
-                f"cannot reach service at {self.host}:{self.port}: {exc}"
-            ) from exc
-        try:
-            writer.write(self._payload(requests))
-            await writer.drain()
-            responses = []
-            for _ in requests:
-                line = await asyncio.wait_for(reader.readline(), self.timeout)
-                if not line:
-                    raise TransportError("service closed the connection mid-batch")
-                try:
-                    responses.append(json.loads(line))
-                except json.JSONDecodeError as exc:
-                    raise TransportError(f"service answered bad JSON: {exc}") from exc
-            return responses
-        finally:
-            writer.close()
+        pool = self._pool_handle()
+        last_error: Exception | None = None
+        for attempt in range(2):
             try:
-                await writer.wait_closed()
-            except OSError:  # pragma: no cover - teardown best-effort
-                pass
+                conn = pool.acquire()
+            except OSError as exc:
+                raise TransportError(
+                    f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
+            try:
+                responses = conn.send_batch(requests)
+            except (OSError, FrameError, ConnectionError) as exc:
+                # A stale keep-alive connection fails on first use after a
+                # server restart; one fresh-connection retry absorbs that.
+                conn.close()
+                last_error = exc
+                continue
+            pool.release(conn)
+            return responses
+        raise TransportError(
+            f"service at {self.host}:{self.port} dropped the batch: {last_error}"
+        ) from last_error
+
+    # ---------------------------------------------------------------- async
+    async def asend(self, requests: list[dict]) -> list[dict]:
+        # One connection per batch, closed before returning: connections
+        # must not outlive their event loop (callers often use asyncio.run),
+        # and the streaming win — all requests in flight before any response
+        # is read — is per-batch, not per-connection.
+        from ..serving.transport import AsyncWireConnection, FrameError
+
+        last_error: Exception | None = None
+        for attempt in range(2):
+            try:
+                conn = await AsyncWireConnection.open(
+                    self.host,
+                    self.port,
+                    self.timeout,
+                    negotiate=self.protocol == "auto",
+                )
+            except OSError as exc:
+                raise TransportError(
+                    f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
+            try:
+                return await conn.send_batch(requests)
+            except (OSError, FrameError, ConnectionError, asyncio.TimeoutError) as exc:
+                last_error = exc
+            finally:
+                await conn.close()
+        raise TransportError(
+            f"service at {self.host}:{self.port} dropped the batch: {last_error}"
+        ) from last_error
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
 
 
 __all__ = ["Client"]

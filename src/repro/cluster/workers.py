@@ -237,8 +237,9 @@ class ThreadWorker(Worker):
 class SubprocessWorker(Worker):
     """A spawned ``python -m repro serve --port`` process as a shard.
 
-    The child speaks the v2 TCP line protocol of
-    :mod:`repro.serving.service`; one connection per batch, exactly like
+    The child speaks the negotiated v2 wire transport of
+    :mod:`repro.serving.transport` — a pooled keep-alive connection with
+    binary framing and pipelined batches, exactly like
     :meth:`repro.api.Client.remote`.  Its persistent-cache shard lives in
     the directory passed at spawn time, so worker caches stay disjoint
     across processes and survive restarts.
@@ -265,6 +266,10 @@ class SubprocessWorker(Worker):
         #: Shard directory the child owns (migration reads/writes it from
         #: the router side; the child warms lazily — see docs).
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        #: Lazily-built pooled transport to the child (keep-alive, binary
+        #: framing negotiated) — worker hops ride the same codepath as
+        #: ``Client.remote`` instead of paying a connection per batch.
+        self._backend = None
         env = dict(os.environ)
         src_root = str(Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = os.pathsep.join(
@@ -336,17 +341,23 @@ class SubprocessWorker(Worker):
     ) -> "list[dict]":
         # ``priority`` and ``tenant`` already travel inside each request
         # envelope; the child's own fair batch lock honors them at dequeue.
-        from ..api.client import _RemoteBackend
         from ..api.errors import TransportError
 
         if not self.ping():
             raise WorkerDeadError(f"worker {self.worker_id} process is gone")
         try:
-            return _RemoteBackend(self.host, self.port, self.timeout).send(requests)
+            return self._transport().send(requests)
         except TransportError as exc:
             raise WorkerDeadError(
                 f"worker {self.worker_id} dropped a batch: {exc}"
             ) from exc
+
+    def _transport(self):
+        if self._backend is None:
+            from ..api.client import _RemoteBackend
+
+            self._backend = _RemoteBackend(self.host, self.port, self.timeout)
+        return self._backend
 
     # ------------------------------------------------------------------ health
     def ping(self) -> bool:
@@ -359,7 +370,13 @@ class SubprocessWorker(Worker):
             return False
 
     # --------------------------------------------------------------- lifecycle
+    def _drop_transport(self) -> None:
+        backend, self._backend = self._backend, None
+        if backend is not None:
+            backend.close()
+
     def close(self) -> None:
+        self._drop_transport()
         if self._process.poll() is None:
             self._process.terminate()
             try:
@@ -370,6 +387,7 @@ class SubprocessWorker(Worker):
 
     def kill(self) -> None:
         """Hard-kill the child (the crash the router must survive)."""
+        self._drop_transport()
         if self._process.poll() is None:
             self._process.kill()
             self._process.wait(timeout=5.0)

@@ -23,9 +23,20 @@ from .service import (
     start_line_server,
 )
 from .stages import OrderedGate, drive_async, execute_task
+from .transport import (
+    FRAME_BINARY,
+    FRAME_LINES,
+    MAX_FRAME_BYTES,
+    FrameError,
+    start_wire_server,
+)
 
 __all__ = [
     "BatcherStats",
+    "FRAME_BINARY",
+    "FRAME_LINES",
+    "FrameError",
+    "MAX_FRAME_BYTES",
     "EngineConfig",
     "EngineReport",
     "ExecutionEngine",
@@ -40,4 +51,5 @@ __all__ = [
     "run_pipeline_spec",
     "serve_lines",
     "start_line_server",
+    "start_wire_server",
 ]

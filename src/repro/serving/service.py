@@ -25,8 +25,11 @@ Responses mirror the request generation: v2 callers get
 the flat ``{"id", "ok", "answer", "raw", "tokens", "calls"}`` / bare-string
 ``"error"`` shapes.  A bad request never aborts its batch.
 
-``serve_tcp`` exposes the same line protocol on a socket; each connection's
-batches run on a worker thread so the accept loop stays responsive.
+``serve_tcp`` exposes the same protocol on a socket through the asyncio
+wire transport of :mod:`repro.serving.transport`: plain JSON-lines
+connections keep the exact semantics above, while connections opening with
+a handshake line are upgraded to multiplexed (optionally binary-framed)
+service — many in-flight requests per connection, correlated by ``id``.
 """
 
 from __future__ import annotations
@@ -520,46 +523,31 @@ def serve_lines(
 
 
 async def start_line_server(
-    handle_batch: BatchHandler, host: str = "127.0.0.1", port: int = 0
+    handle_batch: BatchHandler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    max_frame_bytes: int | None = None,
 ) -> asyncio.AbstractServer:
-    """Bind a TCP server speaking the line protocol over any batch handler.
+    """Bind the TCP wire server over any batch handler.
 
-    Each connection accumulates request lines and flushes on blank lines;
-    batches execute on a worker thread (``handle_batch`` may spin its own
-    event loop) so the accept loop stays responsive.
+    This is the asyncio-native transport of :mod:`repro.serving.transport`:
+    connections that open with a handshake line get multiplexed, optionally
+    binary-framed service (many in-flight requests per connection,
+    responses correlated by ``id``); connections that don't get the exact
+    legacy JSON-lines semantics — request lines accumulate and flush on
+    blank lines, batches execute on a worker thread (``handle_batch`` may
+    spin its own event loop) so the accept loop stays responsive.  See
+    ``docs/wire-transport.md`` for the negotiation and framing spec.
     """
-    loop = asyncio.get_running_loop()
+    from .transport import MAX_FRAME_BYTES, start_wire_server
 
-    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
-        batch: list = []
-
-        async def flush() -> None:
-            if not batch:
-                return
-            responses = await loop.run_in_executor(None, handle_batch, list(batch))
-            batch.clear()
-            for response in responses:
-                writer.write((json.dumps(response, ensure_ascii=False) + "\n").encode())
-            await writer.drain()
-
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                text = line.decode().strip()
-                if not text:
-                    await flush()
-                    continue
-                try:
-                    batch.append(json.loads(text))
-                except json.JSONDecodeError as exc:
-                    batch.append(InvalidRequest(f"bad JSON: {exc}"))
-            await flush()
-        finally:
-            writer.close()
-
-    return await asyncio.start_server(handle, host, port)
+    return await start_wire_server(
+        handle_batch,
+        host,
+        port,
+        max_frame_bytes=max_frame_bytes or MAX_FRAME_BYTES,
+    )
 
 
 def run_pipeline_spec(spec: PipelineSpec, submit: "Callable") -> TaskResult:

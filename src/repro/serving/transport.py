@@ -1,0 +1,806 @@
+"""Asyncio-native wire transport: negotiated framing, multiplexed pipelining.
+
+This module is the socket tier of the serving stack.  One asyncio server
+(:func:`start_wire_server`) speaks **two framings on the same port**,
+chosen per connection by a first-line handshake:
+
+* **JSON lines** (the legacy protocol, and the fallback) — one JSON object
+  per ``\\n``-terminated line.  A connection that never sends a handshake
+  gets the exact historical semantics: blank lines flush the accumulated
+  batch through the handler and responses come back one line each, in
+  request order.  Every pre-existing client — ``nc``, piped files, old
+  ``Client.remote`` builds — keeps working unmodified.
+* **Binary frames** (negotiated) — each message is a 4-byte big-endian
+  unsigned length prefix followed by exactly that many bytes of compact
+  UTF-8 JSON.  No per-message delimiter scan, no blank-line flushes.
+
+A connection that *does* open with a handshake line::
+
+    {"repro": 1, "frames": ["bin", "lines"]}
+
+is answered with one JSON line naming the chosen framing::
+
+    {"repro": 1, "frame": "bin", "max_frame": 8388608}
+
+and from that byte on the connection is **multiplexed**: every request is
+dispatched as it arrives (no blank-line flush needed), many requests ride
+in flight concurrently, and responses are correlated by the v2 envelope
+``id`` — the order they come back in is not part of the contract.
+Requests that arrive while a dispatch is running coalesce into the next
+one, so a pipelined burst of N requests costs ~1 executor hop instead of
+N connection+thread hops.  See ``docs/wire-transport.md`` for the full
+spec (layout, backpressure, error handling, fallback rules).
+
+Framing errors are connection-fatal in binary mode: an oversized length
+prefix or a stream that ends mid-frame gets a best-effort ``bad_frame``
+error response and the connection closes, because a byte stream that lost
+frame sync cannot be re-entered.  In lines mode a bad JSON line is
+answered per line (``bad_json``) and the connection lives on, exactly as
+before.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import threading
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "AsyncWireConnection",
+    "FRAME_BINARY",
+    "FRAME_LINES",
+    "FrameError",
+    "HANDSHAKE_KEY",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_REVISION",
+    "WireConnection",
+    "WireConnectionPool",
+    "client_hello",
+    "decode_frame_payload",
+    "encode_frame",
+    "encode_line",
+    "negotiate_frame",
+    "order_responses",
+    "read_frame",
+    "server_hello",
+    "start_wire_server",
+]
+
+#: Key whose presence in a connection's first JSON line marks a handshake
+#: (task requests never carry it: they carry ``task`` / ``type`` instead).
+HANDSHAKE_KEY = "repro"
+
+#: Revision of the handshake itself (bump only on incompatible changes).
+PROTOCOL_REVISION = 1
+
+#: Framing names as they appear in handshake ``frames`` / ``frame`` fields.
+FRAME_LINES = "lines"
+FRAME_BINARY = "bin"
+
+#: Hard ceiling on one binary frame's payload (bytes).  Large enough for
+#: plan-level ``pipeline`` requests carrying whole tables, small enough to
+#: bound what one malicious frame can make the server buffer.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Requests buffered per connection before the reader stops consuming the
+#: socket (TCP backpressure then reaches the sender).
+MAX_PENDING_REQUESTS = 1024
+
+#: 4-byte big-endian unsigned payload length.
+_HEADER = struct.Struct(">I")
+
+#: Contract of a batch handler: raw request objects in, responses out, in
+#: request order (mirrors ``repro.serving.service.BatchHandler``).
+_Handler = Callable[[list], "list[dict]"]
+
+
+class FrameError(Exception):
+    """A binary frame violated the framing layer (oversized or torn)."""
+
+
+# ----------------------------------------------------------------- encoding
+def encode_frame(payload: Any) -> bytes:
+    """One binary frame: length prefix + compact JSON bytes."""
+    body = json.dumps(payload, ensure_ascii=False, separators=(",", ":")).encode()
+    return _HEADER.pack(len(body)) + body
+
+
+def encode_line(payload: Any) -> bytes:
+    """One JSON-lines message (the legacy/text framing)."""
+    return (json.dumps(payload, ensure_ascii=False) + "\n").encode()
+
+
+def decode_frame_payload(body: bytes) -> Any:
+    """Parse one frame's payload bytes (raises :class:`FrameError`)."""
+    try:
+        return json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not valid JSON: {exc}") from exc
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_frame: int = MAX_FRAME_BYTES,
+    *,
+    skip_newlines: bool = False,
+) -> "bytes | None":
+    """Read one binary frame's payload bytes; ``None`` on clean EOF.
+
+    With ``skip_newlines`` any leading LF bytes are discarded first: a
+    negotiating client follows its hello with one blank line (the
+    legacy-server fallback poke), and a server entering binary mode must
+    not mistake that ``0x0A`` for the first byte of a length prefix.
+
+    Raises :class:`FrameError` on an oversized declared length or a stream
+    that ends mid-header/mid-payload (a *torn* frame) — both mean frame
+    sync is lost and the connection cannot be re-entered.
+    """
+    lead = b""
+    if skip_newlines:
+        while True:
+            try:
+                byte = await reader.readexactly(1)
+            except asyncio.IncompleteReadError:
+                return None  # clean EOF among the padding
+            if byte != b"\n":
+                lead = byte
+                break
+    try:
+        header = lead + await reader.readexactly(_HEADER.size - len(lead))
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial and not lead:  # clean EOF between frames
+            return None
+        raise FrameError(
+            f"torn frame: stream ended {len(lead) + len(exc.partial)} "
+            "bytes into a header"
+        ) from exc
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise FrameError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte limit"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"torn frame: stream ended {len(exc.partial)} of {length} "
+            "bytes into a payload"
+        ) from exc
+
+
+# ---------------------------------------------------------------- handshake
+def client_hello(frames: Sequence[str] = (FRAME_BINARY, FRAME_LINES)) -> dict:
+    """The handshake line a negotiating client opens with."""
+    return {HANDSHAKE_KEY: PROTOCOL_REVISION, "frames": list(frames)}
+
+
+def server_hello(frame: str, max_frame: int = MAX_FRAME_BYTES) -> dict:
+    """The server's one-line answer naming the chosen framing."""
+    return {HANDSHAKE_KEY: PROTOCOL_REVISION, "frame": frame, "max_frame": max_frame}
+
+
+def negotiate_frame(offered: Any) -> str:
+    """Pick the framing for a connection from the client's offer.
+
+    Binary wins when offered (it is why the client negotiated at all);
+    anything unrecognisable falls back to JSON lines — the one framing
+    every peer speaks.
+    """
+    if isinstance(offered, (list, tuple)) and FRAME_BINARY in offered:
+        return FRAME_BINARY
+    return FRAME_LINES
+
+
+def is_handshake(payload: Any) -> bool:
+    """Whether a first-line JSON object is a transport handshake."""
+    return isinstance(payload, dict) and HANDSHAKE_KEY in payload
+
+
+def _bad_frame_response(message: str) -> dict:
+    """The best-effort error envelope sent before a framing-fatal close."""
+    return {
+        "v": 2,
+        "id": None,
+        "ok": False,
+        "error": {"code": "bad_frame", "message": message},
+    }
+
+
+# ------------------------------------------------------------------- server
+async def start_wire_server(
+    handle_batch: _Handler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    max_pending: int = MAX_PENDING_REQUESTS,
+) -> asyncio.AbstractServer:
+    """Bind the asyncio wire server over any batch handler.
+
+    Every connection starts in JSON-lines mode; a first-line handshake
+    upgrades it to multiplexed (optionally binary-framed) service, and its
+    absence leaves the connection on the exact legacy blank-line-batch
+    semantics.  ``handle_batch`` may block and may spin its own event loop
+    (the execution engine does), so dispatches run on the default executor
+    — coalesced per in-flight window, not per request.
+    """
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        conn = _Connection(
+            handle_batch,
+            reader,
+            writer,
+            max_frame=max_frame_bytes,
+            max_pending=max_pending,
+        )
+        try:
+            await conn.run()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+
+    # The stream limit bounds one *line*; binary frames bound themselves via
+    # the length prefix, and legacy clients get the same generous ceiling.
+    return await asyncio.start_server(
+        handle, host, port, limit=max_frame_bytes + 1024
+    )
+
+
+class _Connection:
+    """One accepted connection: negotiation, then legacy or multiplexed service."""
+
+    def __init__(
+        self,
+        handle_batch: _Handler,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame: int,
+        max_pending: int,
+    ):
+        self.handle_batch = handle_batch
+        self.reader = reader
+        self.writer = writer
+        self.max_frame = max_frame
+        self.max_pending = max_pending
+        self.frame = FRAME_LINES
+        #: Parsed-but-undispatched requests (the in-flight window).
+        self._inbox: list = []
+        self._inbox_ready = asyncio.Event()
+        self._inbox_drained = asyncio.Event()
+        self._inbox_drained.set()
+        self._eof = False
+
+    # -------------------------------------------------------------- top level
+    async def run(self) -> None:
+        first = await self._readline()
+        if first is None:
+            return
+        payload = _maybe_json(first)
+        if is_handshake(payload):
+            self.frame = negotiate_frame(payload.get("frames"))
+            self.writer.write(
+                encode_line(server_hello(self.frame, self.max_frame))
+            )
+            await self.writer.drain()
+            await self._run_multiplexed()
+        else:
+            await self._run_legacy(first)
+
+    # ------------------------------------------------------------ legacy mode
+    async def _run_legacy(self, first_line: str) -> None:
+        """The historical protocol: blank-line batches, ordered responses."""
+        from .service import InvalidRequest
+
+        loop = asyncio.get_running_loop()
+        batch: list = []
+
+        def accept(text: str) -> None:
+            try:
+                batch.append(json.loads(text))
+            except json.JSONDecodeError as exc:
+                batch.append(InvalidRequest(f"bad JSON: {exc}"))
+
+        async def flush() -> None:
+            if not batch:
+                return
+            responses = await loop.run_in_executor(
+                None, self.handle_batch, list(batch)
+            )
+            batch.clear()
+            for response in responses:
+                self.writer.write(encode_line(response))
+            await self.writer.drain()
+
+        if first_line:
+            accept(first_line)
+        while True:
+            line = await self._readline()
+            if line is None:
+                break
+            if not line:
+                await flush()
+                continue
+            accept(line)
+        await flush()
+
+    # ------------------------------------------------------- multiplexed mode
+    async def _run_multiplexed(self) -> None:
+        """Negotiated service: dispatch-as-they-arrive, id-correlated replies."""
+        dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        try:
+            await self._read_loop()
+        finally:
+            self._eof = True
+            self._inbox_ready.set()  # wake the dispatcher for its last drain
+            await dispatcher
+
+    async def _read_loop(self) -> None:
+        from .service import InvalidRequest
+
+        while True:
+            if len(self._inbox) >= self.max_pending:
+                # Stop consuming the socket until the dispatcher catches up;
+                # TCP flow control then pushes back on the sender.
+                self._inbox_drained.clear()
+                await self._inbox_drained.wait()
+                continue
+            if self.frame == FRAME_BINARY:
+                try:
+                    # skip_newlines: the client's hello is chased by one
+                    # blank line (legacy-server poke) that must not be
+                    # mistaken for the first byte of a length prefix.
+                    body = await read_frame(
+                        self.reader, self.max_frame, skip_newlines=True
+                    )
+                except FrameError as exc:
+                    await self._fail_connection(str(exc))
+                    return
+                if body is None:
+                    return
+                try:
+                    request = decode_frame_payload(body)
+                except FrameError as exc:
+                    await self._fail_connection(str(exc))
+                    return
+            else:
+                line = await self._readline()
+                if line is None:
+                    return
+                if not line:  # blank flush lines are legal no-ops here
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    request = InvalidRequest(f"bad JSON: {exc}")
+            if is_handshake(request):  # repeated hello: idempotent no-op
+                continue
+            self._inbox.append(request)
+            self._inbox_ready.set()
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._inbox_ready.wait()
+            self._inbox_ready.clear()
+            group, self._inbox = self._inbox, []
+            self._inbox_drained.set()
+            if group:
+                try:
+                    responses = await loop.run_in_executor(
+                        None, self.handle_batch, group
+                    )
+                except ConnectionError:  # pragma: no cover - peer vanished
+                    return
+                encode = (
+                    encode_frame if self.frame == FRAME_BINARY else encode_line
+                )
+                try:
+                    for response in responses:
+                        self.writer.write(encode(response))
+                    await self.writer.drain()
+                except (ConnectionError, RuntimeError):
+                    return  # peer went away; nothing left to answer
+            if self._eof and not self._inbox:
+                return
+
+    async def _fail_connection(self, message: str) -> None:
+        """Best-effort ``bad_frame`` notice, then close (frame sync is lost)."""
+        self._eof = True
+        try:
+            # The error travels in the *negotiated* framing: a binary peer
+            # reads one last well-formed frame, then EOF.
+            encode = encode_frame if self.frame == FRAME_BINARY else encode_line
+            self.writer.write(encode(_bad_frame_response(message)))
+            await self.writer.drain()
+        except (ConnectionError, RuntimeError):  # pragma: no cover
+            pass
+
+    # -------------------------------------------------------------- utilities
+    async def _readline(self) -> "str | None":
+        """One decoded, stripped line; ``None`` on EOF or an over-long line."""
+        try:
+            line = await self.reader.readline()
+        except ValueError:  # line exceeded the stream limit: unrecoverable
+            await self._fail_connection("request line exceeds the size limit")
+            return None
+        if not line:
+            return None
+        return line.decode(errors="replace").strip()
+
+
+def _maybe_json(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return None
+
+
+# ------------------------------------------------------------- client (sync)
+def order_responses(requests: "list[dict]", responses: "list[dict]") -> "list[dict]":
+    """Align multiplexed responses with their requests by envelope ``id``.
+
+    Multiplexed connections only promise id correlation, not ordering.  When
+    every request carries a unique, echoed id the responses are returned in
+    request order; otherwise (v1 callers without ids, duplicate ids) the
+    arrival order is preserved — which the in-order server dispatcher makes
+    correct for those callers anyway.
+    """
+    ids = [
+        request.get("id") if isinstance(request, dict) else None
+        for request in requests
+    ]
+    try:
+        unique = len(set(ids)) == len(ids) and None not in ids
+    except TypeError:  # unhashable id: arrival order
+        return responses
+    if not unique or len(responses) != len(requests):
+        return responses
+    by_id: dict = {}
+    for response in responses:
+        if isinstance(response, dict):
+            by_id.setdefault(response.get("id"), response)
+    if any(request_id not in by_id for request_id in ids):
+        return responses
+    return [by_id[request_id] for request_id in ids]
+
+
+class _SocketReader:
+    """Minimal buffered reader over a blocking socket (lines and exact reads).
+
+    ``socket.makefile`` cannot switch between text lines and binary frames
+    on one connection; this can.
+    """
+
+    def __init__(self, sock: "socket.socket"):
+        self._sock = sock
+        self._buffer = b""
+
+    def read_line(self) -> "bytes | None":
+        """One ``\\n``-terminated line without the terminator; ``None`` on EOF."""
+        while b"\n" not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._buffer:
+                    line, self._buffer = self._buffer, b""
+                    return line
+                return None
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    def read_exactly(self, count: int) -> "bytes | None":
+        """Exactly ``count`` bytes; ``None`` on clean EOF at a boundary."""
+        while len(self._buffer) < count:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if not self._buffer:
+                    return None
+                raise FrameError(
+                    f"torn frame: connection closed {len(self._buffer)} of "
+                    f"{count} bytes into a message"
+                )
+            self._buffer += chunk
+        body, self._buffer = self._buffer[:count], self._buffer[count:]
+        return body
+
+
+class WireConnection:
+    """One negotiated (or legacy) client connection, reusable across batches.
+
+    ``open`` performs the connect-time handshake: the hello line plus one
+    blank line, then one reply line.  A transport-aware server answers the
+    hello itself (choosing the framing); a legacy server treats the hello as
+    an invalid request and answers a normal error response when the blank
+    line flushes it — either way exactly one line comes back, and its
+    ``"repro"`` key (or absence) decides the connection's mode.  The same
+    object then carries any number of request batches.
+    """
+
+    def __init__(self, sock: "socket.socket", mode: str, max_frame: int):
+        self._sock = sock
+        self._reader = _SocketReader(sock)
+        #: ``FRAME_BINARY`` / ``FRAME_LINES`` (both multiplexed) or ``"legacy"``.
+        self.mode = mode
+        self.max_frame = max_frame
+        self._alive = True
+
+    # ------------------------------------------------------------ life-cycle
+    @classmethod
+    def open(
+        cls,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        *,
+        negotiate: bool = True,
+        frames: Sequence[str] = (FRAME_BINARY, FRAME_LINES),
+    ) -> "WireConnection":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        if not negotiate:
+            return cls(sock, "legacy", MAX_FRAME_BYTES)
+        sock.sendall(encode_line(client_hello(frames)) + b"\n")
+        reader = _SocketReader(sock)
+        line = reader.read_line()
+        if line is None:
+            sock.close()
+            raise ConnectionError("connection closed during the handshake")
+        reply = _maybe_json(line.decode(errors="replace").strip())
+        if is_handshake(reply):
+            mode = str(reply.get("frame", FRAME_LINES))
+            max_frame = int(reply.get("max_frame") or MAX_FRAME_BYTES)
+        else:
+            # A legacy server answered the hello with an error response:
+            # fall back to blank-line batches on this same connection.
+            mode, max_frame = "legacy", MAX_FRAME_BYTES
+        conn = cls(sock, mode, max_frame)
+        conn._reader = reader
+        return conn
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def close(self) -> None:
+        self._alive = False
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - teardown best-effort
+            pass
+
+    # --------------------------------------------------------------- batches
+    def send_batch(self, requests: "list[dict]") -> "list[dict]":
+        """Ship one batch and collect its responses (request order)."""
+        try:
+            return self._send_batch(requests)
+        except Exception:
+            self._alive = False
+            raise
+
+    def _send_batch(self, requests: "list[dict]") -> "list[dict]":
+        if self.mode == FRAME_BINARY:
+            self._sock.sendall(b"".join(encode_frame(r) for r in requests))
+            responses = [self._read_frame_response() for _ in requests]
+            return order_responses(requests, responses)
+        if self.mode == FRAME_LINES:
+            self._sock.sendall(b"".join(encode_line(r) for r in requests))
+            responses = [self._read_line_response() for _ in requests]
+            return order_responses(requests, responses)
+        # Legacy: lines + blank flush; responses arrive strictly in order.
+        self._sock.sendall(b"".join(encode_line(r) for r in requests) + b"\n")
+        return [self._read_line_response() for _ in requests]
+
+    def _read_frame_response(self) -> dict:
+        header = self._reader.read_exactly(_HEADER.size)
+        if header is None:
+            raise ConnectionError("service closed the connection mid-batch")
+        (length,) = _HEADER.unpack(header)
+        if length > self.max_frame:
+            raise FrameError(
+                f"service sent a {length}-byte frame over the "
+                f"{self.max_frame}-byte limit"
+            )
+        body = self._reader.read_exactly(length)
+        if body is None:  # pragma: no cover - read_exactly raises instead
+            raise ConnectionError("service closed the connection mid-frame")
+        return self._require_dict(decode_frame_payload(body))
+
+    def _read_line_response(self) -> dict:
+        line = self._reader.read_line()
+        if line is None:
+            raise ConnectionError("service closed the connection mid-batch")
+        payload = _maybe_json(line.decode(errors="replace").strip())
+        if payload is None:
+            raise FrameError("service answered bad JSON")
+        return self._require_dict(payload)
+
+    @staticmethod
+    def _require_dict(payload: Any) -> dict:
+        if not isinstance(payload, dict):
+            raise FrameError(
+                f"service answered a non-object response: {payload!r}"
+            )
+        return payload
+
+
+class WireConnectionPool:
+    """Thread-safe keep-alive pool of :class:`WireConnection` objects.
+
+    ``acquire`` hands out an idle healthy connection or opens a fresh one;
+    ``release`` returns it for reuse (up to ``size`` idle connections are
+    retained).  Pooling is what turns the connect+handshake round trip into
+    a one-time cost instead of a per-batch one.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        *,
+        size: int = 4,
+        negotiate: bool = True,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.size = size
+        self.negotiate = negotiate
+        self._idle: "list[WireConnection]" = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def acquire(self) -> WireConnection:
+        with self._lock:
+            while self._idle:
+                conn = self._idle.pop()
+                if conn.alive:
+                    return conn
+                conn.close()
+        return WireConnection.open(
+            self.host, self.port, self.timeout, negotiate=self.negotiate
+        )
+
+    def release(self, conn: WireConnection) -> None:
+        with self._lock:
+            if not self._closed and conn.alive and len(self._idle) < self.size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+
+# ------------------------------------------------------------ client (async)
+class AsyncWireConnection:
+    """The asyncio twin of :class:`WireConnection` (same handshake, modes).
+
+    ``send_batch`` is *streaming*: the writer coroutine pushes requests
+    while the reader coroutine is already collecting responses, so a large
+    pipelined batch overlaps its own upload and download on one connection.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        mode: str,
+        max_frame: int,
+        timeout: float,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.mode = mode
+        self.max_frame = max_frame
+        self.timeout = timeout
+        self._alive = True
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        *,
+        negotiate: bool = True,
+        frames: Sequence[str] = (FRAME_BINARY, FRAME_LINES),
+    ) -> "AsyncWireConnection":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_FRAME_BYTES + 1024
+        )
+        if not negotiate:
+            return cls(reader, writer, "legacy", MAX_FRAME_BYTES, timeout)
+        writer.write(encode_line(client_hello(frames)) + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if not line:
+            writer.close()
+            raise ConnectionError("connection closed during the handshake")
+        reply = _maybe_json(line.decode(errors="replace").strip())
+        if is_handshake(reply):
+            mode = str(reply.get("frame", FRAME_LINES))
+            max_frame = int(reply.get("max_frame") or MAX_FRAME_BYTES)
+        else:
+            mode, max_frame = "legacy", MAX_FRAME_BYTES
+        return cls(reader, writer, mode, max_frame, timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive and not self._writer.is_closing()
+
+    async def close(self) -> None:
+        self._alive = False
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except OSError:  # pragma: no cover - teardown best-effort
+            pass
+
+    async def send_batch(self, requests: "list[dict]") -> "list[dict]":
+        try:
+            return await self._send_batch(requests)
+        except Exception:
+            self._alive = False
+            raise
+
+    async def _send_batch(self, requests: "list[dict]") -> "list[dict]":
+        binary = self.mode == FRAME_BINARY
+        encode = encode_frame if binary else encode_line
+
+        async def write_all() -> None:
+            for request in requests:
+                self._writer.write(encode(request))
+                await self._writer.drain()
+            if self.mode == "legacy":
+                self._writer.write(b"\n")  # the blank flush line
+                await self._writer.drain()
+
+        writer_task = asyncio.ensure_future(write_all())
+        responses: "list[dict]" = []
+        try:
+            for _ in requests:
+                if binary:
+                    response = await asyncio.wait_for(
+                        self._read_frame_response(), self.timeout
+                    )
+                else:
+                    response = await asyncio.wait_for(
+                        self._read_line_response(), self.timeout
+                    )
+                responses.append(response)
+        finally:
+            if not writer_task.done():
+                writer_task.cancel()
+            try:
+                await writer_task
+            except (asyncio.CancelledError, OSError):
+                pass
+        if self.mode == "legacy":
+            return responses
+        return order_responses(requests, responses)
+
+    async def _read_frame_response(self) -> dict:
+        body = await read_frame(self._reader, self.max_frame)
+        if body is None:
+            raise ConnectionError("service closed the connection mid-batch")
+        return WireConnection._require_dict(decode_frame_payload(body))
+
+    async def _read_line_response(self) -> dict:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection mid-batch")
+        payload = _maybe_json(line.decode(errors="replace").strip())
+        if payload is None:
+            raise FrameError("service answered bad JSON")
+        return WireConnection._require_dict(payload)

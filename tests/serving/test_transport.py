@@ -1,0 +1,349 @@
+"""Tests for the negotiated wire transport (handshake, framing, multiplexing).
+
+The compatibility contract under test: one server process serves a legacy
+JSON-lines client (v1 flat or v2 envelope, blank-line flush) and a
+negotiated binary-framed pipelined client **concurrently**, with
+bit-identical results — and a client that offers the handshake to a
+pre-transport server falls back to legacy semantics on the same
+connection.  Framing violations (torn frames, oversized declared lengths)
+are connection-fatal with a best-effort ``bad_frame`` error response.
+"""
+
+import asyncio
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serving import build_service
+from repro.serving.transport import (
+    FRAME_BINARY,
+    FRAME_LINES,
+    AsyncWireConnection,
+    FrameError,
+    WireConnection,
+    WireConnectionPool,
+    client_hello,
+    decode_frame_payload,
+    encode_frame,
+    encode_line,
+    order_responses,
+    read_frame,
+    start_wire_server,
+)
+
+_HEADER = struct.Struct(">I")
+
+
+# ------------------------------------------------------------------ fixtures
+def _serve_on_thread(handle_batch, **kwargs):
+    """A wire server on a daemon loop thread; returns (port, stop)."""
+    ready = threading.Event()
+    holder = {}
+    loop = asyncio.new_event_loop()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        server = loop.run_until_complete(
+            start_wire_server(handle_batch, port=0, **kwargs)
+        )
+        holder["port"] = server.sockets[0].getsockname()[1]
+        ready.set()
+        loop.run_forever()
+        server.close()
+        loop.run_until_complete(server.wait_closed())
+        loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "wire server did not start"
+
+    def stop() -> None:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+
+    return holder["port"], stop
+
+
+@pytest.fixture
+def service_port():
+    """The real service (seed-0 stack) behind the wire server."""
+    service = build_service(seed=0, batch_size=4, workers=4)
+    port, stop = _serve_on_thread(service.handle_batch)
+    yield port
+    stop()
+
+
+@pytest.fixture
+def echo_port():
+    """A zero-work echo handler: transport mechanics without task execution."""
+
+    def echo(requests):
+        return [
+            {"v": 2, "id": r.get("id"), "ok": True, "result": {"echo": r}}
+            for r in requests
+        ]
+
+    port, stop = _serve_on_thread(echo, max_frame_bytes=64 * 1024)
+    yield port
+    stop()
+
+
+def _negotiate_binary(port: int):
+    """Raw-socket handshake; returns (socket, buffered reader) in bin mode."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    sock.sendall(encode_line(client_hello()) + b"\n")
+    reader = sock.makefile("rb")
+    hello = json.loads(reader.readline())
+    assert hello["frame"] == FRAME_BINARY
+    return sock, reader
+
+
+def _read_raw_frame(reader) -> dict:
+    header = reader.read(_HEADER.size)
+    assert len(header) == _HEADER.size, "connection closed before a frame"
+    (length,) = _HEADER.unpack(header)
+    body = reader.read(length)
+    assert len(body) == length
+    return decode_frame_payload(body)
+
+
+V2_TRANSFORM = {
+    "type": "transformation",
+    "value": "7",
+    "examples": [["1", "one"], ["2", "two"]],
+}
+
+
+# ---------------------------------------------------- mixed-protocol serving
+def test_mixed_protocol_clients_bit_identical(service_port):
+    """A legacy lines client and a binary pipelined client, concurrently."""
+    barrier = threading.Barrier(2, timeout=30)
+    outcome = {}
+
+    def legacy_client() -> None:
+        sock = socket.create_connection(("127.0.0.1", service_port), timeout=30)
+        lines = b"".join(
+            encode_line({"v": 2, "id": i, "task": dict(V2_TRANSFORM)})
+            for i in range(8)
+        )
+        barrier.wait()
+        sock.sendall(lines + b"\n")  # blank line flushes the batch
+        reader = sock.makefile("rb")
+        outcome["legacy"] = [json.loads(reader.readline()) for _ in range(8)]
+        sock.close()
+
+    def binary_client() -> None:
+        conn = WireConnection.open("127.0.0.1", service_port, timeout=30)
+        assert conn.mode == FRAME_BINARY
+        requests = [
+            {"v": 2, "id": i, "task": dict(V2_TRANSFORM)} for i in range(8)
+        ]
+        barrier.wait()
+        outcome["binary"] = conn.send_batch(requests)
+        conn.close()
+
+    threads = [
+        threading.Thread(target=legacy_client),
+        threading.Thread(target=binary_client),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+
+    # Bit-identical: the same v2 envelope yields the same response object
+    # regardless of which framing carried it.
+    assert outcome["legacy"] == outcome["binary"]
+    assert all(r["ok"] for r in outcome["legacy"])
+
+
+def test_legacy_v1_flat_requests_still_served(service_port):
+    sock = socket.create_connection(("127.0.0.1", service_port), timeout=30)
+    request = {"id": 5, "type": "extraction", "document": "Ada wrote.", "attribute": "name"}
+    sock.sendall(encode_line(request) + b"\n")
+    response = json.loads(sock.makefile("rb").readline())
+    sock.close()
+    assert response["id"] == 5 and response["ok"]
+    assert "answer" in response and "result" not in response  # flat v1 shape
+
+
+def test_legacy_v2_envelope_still_served(service_port):
+    sock = socket.create_connection(("127.0.0.1", service_port), timeout=30)
+    sock.sendall(encode_line({"v": 2, "id": "a", "task": dict(V2_TRANSFORM)}) + b"\n")
+    response = json.loads(sock.makefile("rb").readline())
+    sock.close()
+    assert response["v"] == 2 and response["id"] == "a" and response["ok"]
+
+
+def test_multiplexed_lines_mode_needs_no_blank_flush(echo_port):
+    """frames=["lines"] negotiates multiplexed JSON lines: no flush needed."""
+    sock = socket.create_connection(("127.0.0.1", echo_port), timeout=10)
+    sock.sendall(encode_line(client_hello(frames=(FRAME_LINES,))) + b"\n")
+    reader = sock.makefile("rb")
+    hello = json.loads(reader.readline())
+    assert hello["frame"] == FRAME_LINES
+    # Two requests, no blank line anywhere: they dispatch as they arrive.
+    sock.sendall(encode_line({"v": 2, "id": 1}) + encode_line({"v": 2, "id": 2}))
+    replies = [json.loads(reader.readline()) for _ in range(2)]
+    sock.close()
+    assert sorted(r["id"] for r in replies) == [1, 2]
+
+
+# ------------------------------------------------------------ frame failures
+def test_oversized_frame_is_rejected_with_bad_frame(echo_port):
+    sock, reader = _negotiate_binary(echo_port)
+    sock.sendall(_HEADER.pack(1024 * 1024))  # declares 1 MiB; limit is 64 KiB
+    response = _read_raw_frame(reader)
+    assert response["ok"] is False
+    assert response["error"]["code"] == "bad_frame"
+    assert reader.read() == b""  # connection closed: sync is unrecoverable
+    sock.close()
+
+
+def test_torn_frame_is_rejected_with_bad_frame(echo_port):
+    sock, reader = _negotiate_binary(echo_port)
+    sock.sendall(_HEADER.pack(100) + b'{"v": 2')  # 100 declared, 7 sent
+    sock.shutdown(socket.SHUT_WR)  # EOF mid-payload
+    response = _read_raw_frame(reader)
+    assert response["ok"] is False
+    assert response["error"]["code"] == "bad_frame"
+    assert reader.read() == b""
+    sock.close()
+
+
+def test_blank_padding_after_handshake_is_legal(echo_port):
+    """The client's legacy-poke blank line must not break frame sync."""
+    sock, reader = _negotiate_binary(echo_port)
+    sock.sendall(b"\n\n" + encode_frame({"v": 2, "id": 9}))
+    response = _read_raw_frame(reader)
+    sock.close()
+    assert response["id"] == 9 and response["ok"]
+
+
+# -------------------------------------------------------- legacy-server fallback
+@pytest.fixture
+def legacy_only_port():
+    """A pre-transport server: blank-line batches only, no handshake."""
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    holder = {}
+
+    async def handle(reader, writer):
+        batch = []
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            text = line.strip()
+            if not text:  # blank line: flush
+                for request in batch:
+                    try:
+                        payload = json.loads(request)
+                        reply = {"id": payload.get("id"), "ok": True, "answer": "legacy"}
+                    except json.JSONDecodeError:
+                        reply = {"id": None, "ok": False, "error": "bad JSON"}
+                    writer.write(encode_line(reply))
+                await writer.drain()
+                batch = []
+                continue
+            batch.append(text)
+        writer.close()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        server = loop.run_until_complete(
+            asyncio.start_server(handle, "127.0.0.1", 0)
+        )
+        holder["port"] = server.sockets[0].getsockname()[1]
+        ready.set()
+        loop.run_forever()
+        server.close()
+        loop.run_until_complete(server.wait_closed())
+        loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    yield holder["port"]
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(10)
+
+
+def test_negotiating_client_falls_back_against_legacy_server(legacy_only_port):
+    conn = WireConnection.open("127.0.0.1", legacy_only_port, timeout=10)
+    try:
+        assert conn.mode == "legacy"
+        responses = conn.send_batch([{"id": 1}, {"id": 2}])
+        assert [r["id"] for r in responses] == [1, 2]
+        assert all(r["answer"] == "legacy" for r in responses)
+    finally:
+        conn.close()
+
+
+def test_async_client_falls_back_against_legacy_server(legacy_only_port):
+    async def scenario():
+        conn = await AsyncWireConnection.open("127.0.0.1", legacy_only_port, timeout=10)
+        try:
+            assert conn.mode == "legacy"
+            return await conn.send_batch([{"id": 1}, {"id": 2}])
+        finally:
+            await conn.close()
+
+    responses = asyncio.run(scenario())
+    assert [r["id"] for r in responses] == [1, 2]
+
+
+# ----------------------------------------------------------------- unit level
+def test_order_responses_reorders_by_id():
+    requests = [{"id": "a"}, {"id": "b"}, {"id": "c"}]
+    shuffled = [{"id": "c"}, {"id": "a"}, {"id": "b"}]
+    assert order_responses(requests, shuffled) == [
+        {"id": "a"},
+        {"id": "b"},
+        {"id": "c"},
+    ]
+
+
+def test_order_responses_keeps_arrival_order_without_unique_ids():
+    requests = [{"id": 1}, {"id": 1}]
+    responses = [{"id": 1, "n": "first"}, {"id": 1, "n": "second"}]
+    assert order_responses(requests, responses) == responses
+
+
+def test_read_frame_skips_leading_newlines():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"\n\n" + encode_frame({"id": 1}))
+        reader.feed_eof()
+        body = await read_frame(reader, skip_newlines=True)
+        assert decode_frame_payload(body) == {"id": 1}
+        assert await read_frame(reader, skip_newlines=True) is None  # clean EOF
+
+    asyncio.run(scenario())
+
+
+def test_read_frame_raises_on_oversized_length():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(_HEADER.pack(2048) + b"x" * 10)
+        reader.feed_eof()
+        with pytest.raises(FrameError):
+            await read_frame(reader, max_frame=1024)
+
+    asyncio.run(scenario())
+
+
+def test_pool_reuses_released_connections(echo_port):
+    pool = WireConnectionPool("127.0.0.1", echo_port, timeout=10, size=2)
+    try:
+        first = pool.acquire()
+        pool.release(first)
+        second = pool.acquire()
+        assert second is first  # keep-alive: no reconnect, no re-handshake
+        pool.release(second)
+    finally:
+        pool.close()
